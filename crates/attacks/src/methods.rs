@@ -1,0 +1,305 @@
+use ahw_nn::{Mode, NnError, Sequential};
+use ahw_tensor::{rng, Tensor};
+use rand::Rng;
+
+/// An adversarial attack specification.
+///
+/// Both attacks constrain the perturbation to an `L∞` ball of radius
+/// `epsilon` around the clean input and clip to the `[0, 1]` pixel domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attack {
+    /// Single-step Fast Gradient Sign Method (Goodfellow et al.):
+    /// `x_adv = x + ε · sign(∇ₓ L)`.
+    Fgsm {
+        /// Perturbation strength ε.
+        epsilon: f32,
+    },
+    /// Multi-step Projected Gradient Descent (Madry et al.): `steps`
+    /// iterations of FGSM with step size `alpha`, each projected back into
+    /// the ε-ball, optionally from a random start.
+    Pgd {
+        /// Ball radius ε.
+        epsilon: f32,
+        /// Per-step size α.
+        alpha: f32,
+        /// Iteration count.
+        steps: usize,
+        /// Start from a uniform random point inside the ball.
+        random_start: bool,
+    },
+    /// Control condition: uniform random noise of the same `L∞` magnitude,
+    /// no gradients. Any real attack must beat this floor — reporting it
+    /// alongside FGSM/PGD separates *adversarial* damage from plain noise
+    /// sensitivity.
+    Random {
+        /// Noise magnitude ε.
+        epsilon: f32,
+    },
+}
+
+impl Attack {
+    /// FGSM at strength ε.
+    pub fn fgsm(epsilon: f32) -> Self {
+        Attack::Fgsm { epsilon }
+    }
+
+    /// The paper-style PGD: 7 steps at `α = ε/4` with a random start.
+    pub fn pgd(epsilon: f32) -> Self {
+        Attack::Pgd {
+            epsilon,
+            alpha: epsilon / 4.0,
+            steps: 7,
+            random_start: true,
+        }
+    }
+
+    /// The random-noise control at magnitude ε.
+    pub fn random(epsilon: f32) -> Self {
+        Attack::Random { epsilon }
+    }
+
+    /// The attack's ε.
+    pub fn epsilon(&self) -> f32 {
+        match self {
+            Attack::Fgsm { epsilon } | Attack::Pgd { epsilon, .. } | Attack::Random { epsilon } => {
+                *epsilon
+            }
+        }
+    }
+
+    /// Short name for experiment tables (`"FGSM"` / `"PGD"` / `"Random"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Attack::Fgsm { .. } => "FGSM",
+            Attack::Pgd { .. } => "PGD",
+            Attack::Random { .. } => "Random",
+        }
+    }
+}
+
+/// Crafts FGSM adversarial examples against `model`'s loss.
+///
+/// The gradient is taken in eval mode (frozen batch-norm statistics), the
+/// perturbed input is clipped to `[0, 1]`.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn fgsm(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    epsilon: f32,
+) -> Result<Tensor, NnError> {
+    let (_, grad) = model.input_gradient(x, labels, Mode::Eval)?;
+    let mut adv = x.clone();
+    for (a, g) in adv.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+        if *g != 0.0 {
+            *a = (*a + epsilon * g.signum()).clamp(0.0, 1.0);
+        }
+    }
+    Ok(adv)
+}
+
+/// Crafts PGD adversarial examples against `model`'s loss.
+///
+/// `rng` drives the random start (unused when `random_start` is false).
+///
+/// # Errors
+///
+/// Propagates model errors.
+#[allow(clippy::too_many_arguments)] // mirrors the canonical PGD signature
+pub fn pgd<R: Rng>(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    epsilon: f32,
+    alpha: f32,
+    steps: usize,
+    random_start: bool,
+    rng_: &mut R,
+) -> Result<Tensor, NnError> {
+    let mut adv = if random_start {
+        let noise = rng::uniform(x.dims(), -epsilon, epsilon, rng_);
+        let mut a = x.add(&noise)?;
+        a.clamp_in_place(0.0, 1.0);
+        a
+    } else {
+        x.clone()
+    };
+    for _ in 0..steps {
+        let (_, grad) = model.input_gradient(&adv, labels, Mode::Eval)?;
+        let av = adv.as_mut_slice();
+        let gv = grad.as_slice();
+        let xv = x.as_slice();
+        for i in 0..av.len() {
+            let stepped = av[i] + alpha * gv[i].signum();
+            // project into the ε-ball around x, then into the pixel domain
+            av[i] = stepped
+                .clamp(xv[i] - epsilon, xv[i] + epsilon)
+                .clamp(0.0, 1.0);
+        }
+    }
+    Ok(adv)
+}
+
+/// Perturbs `x` with uniform noise in `[-epsilon, epsilon]`, clipped to the
+/// pixel domain — the gradient-free control condition.
+pub fn random_noise<R: Rng>(x: &Tensor, epsilon: f32, rng_: &mut R) -> Tensor {
+    let noise = rng::uniform(x.dims(), -epsilon, epsilon, rng_);
+    let mut out = x.clone();
+    for (a, n) in out.as_mut_slice().iter_mut().zip(noise.as_slice()) {
+        *a = (*a + n).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Runs `attack` against `model` on one batch and returns the adversarial
+/// inputs. The dispatcher used by the mode-level evaluators.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn craft<R: Rng>(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    attack: Attack,
+    rng_: &mut R,
+) -> Result<Tensor, NnError> {
+    match attack {
+        Attack::Fgsm { epsilon } => fgsm(model, x, labels, epsilon),
+        Attack::Pgd {
+            epsilon,
+            alpha,
+            steps,
+            random_start,
+        } => pgd(model, x, labels, epsilon, alpha, steps, random_start, rng_),
+        Attack::Random { epsilon } => Ok(random_noise(x, epsilon, rng_)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahw_nn::layers::{Linear, ReLU};
+    use ahw_tensor::rng::seeded;
+
+    fn model(seed: u64) -> Sequential {
+        let mut r = seeded(seed);
+        let mut m = Sequential::new();
+        m.push(Linear::new(6, 12, &mut r).unwrap());
+        m.push(ReLU::new());
+        m.push(Linear::new(12, 3, &mut r).unwrap());
+        m
+    }
+
+    fn batch(seed: u64) -> (Tensor, Vec<usize>) {
+        let x = ahw_tensor::rng::uniform(&[10, 6], 0.2, 0.8, &mut seeded(seed));
+        let labels = (0..10).map(|i| i % 3).collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn fgsm_stays_in_linf_ball_and_domain() {
+        let mut m = model(1);
+        let (x, y) = batch(2);
+        let adv = fgsm(&mut m, &x, &y, 0.1).unwrap();
+        for (a, b) in adv.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() <= 0.1 + 1e-6);
+            assert!((0.0..=1.0).contains(a));
+        }
+    }
+
+    #[test]
+    fn fgsm_moves_loss_uphill() {
+        let mut m = model(3);
+        let (x, y) = batch(4);
+        let (clean_loss, _) = m.input_gradient(&x, &y, Mode::Eval).unwrap();
+        let adv = fgsm(&mut m, &x, &y, 0.05).unwrap();
+        let (adv_loss, _) = m.input_gradient(&adv, &y, Mode::Eval).unwrap();
+        assert!(
+            adv_loss > clean_loss,
+            "adv loss {adv_loss} not above clean {clean_loss}"
+        );
+    }
+
+    #[test]
+    fn zero_epsilon_fgsm_is_identity() {
+        let mut m = model(5);
+        let (x, y) = batch(6);
+        let adv = fgsm(&mut m, &x, &y, 0.0).unwrap();
+        assert_eq!(adv, x);
+    }
+
+    #[test]
+    fn pgd_stays_in_ball_and_beats_fgsm() {
+        let mut m = model(7);
+        let (x, y) = batch(8);
+        let eps = 0.1;
+        let adv_f = fgsm(&mut m, &x, &y, eps).unwrap();
+        let adv_p = pgd(&mut m, &x, &y, eps, eps / 4.0, 10, true, &mut seeded(9)).unwrap();
+        for (a, b) in adv_p.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() <= eps + 1e-5);
+            assert!((0.0..=1.0).contains(a));
+        }
+        let (loss_f, _) = m.input_gradient(&adv_f, &y, Mode::Eval).unwrap();
+        let (loss_p, _) = m.input_gradient(&adv_p, &y, Mode::Eval).unwrap();
+        assert!(
+            loss_p >= loss_f * 0.95,
+            "pgd loss {loss_p} well below fgsm loss {loss_f}"
+        );
+    }
+
+    #[test]
+    fn pgd_without_random_start_is_deterministic() {
+        let mut m = model(10);
+        let (x, y) = batch(11);
+        let a = pgd(&mut m, &x, &y, 0.08, 0.02, 5, false, &mut seeded(1)).unwrap();
+        let b = pgd(&mut m, &x, &y, 0.08, 0.02, 5, false, &mut seeded(2)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_noise_is_weaker_than_fgsm() {
+        // on a trained-ish model, gradient-aligned perturbations must raise
+        // the loss more than random ones of the same magnitude
+        let mut m = model(20);
+        let (x, y) = batch(21);
+        let eps = 0.15;
+        let adv = fgsm(&mut m, &x, &y, eps).unwrap();
+        let rnd = random_noise(&x, eps, &mut seeded(22));
+        let (loss_adv, _) = m.input_gradient(&adv, &y, Mode::Eval).unwrap();
+        let (loss_rnd, _) = m.input_gradient(&rnd, &y, Mode::Eval).unwrap();
+        assert!(loss_adv > loss_rnd, "{loss_adv} vs {loss_rnd}");
+        for (a, b) in rnd.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() <= eps + 1e-6);
+            assert!((0.0..=1.0).contains(a));
+        }
+    }
+
+    #[test]
+    fn random_attack_dispatches() {
+        let mut m = model(23);
+        let (x, y) = batch(24);
+        let out = craft(&mut m, &x, &y, Attack::random(0.1), &mut seeded(25)).unwrap();
+        assert_ne!(out, x);
+        assert_eq!(Attack::random(0.1).name(), "Random");
+        assert_eq!(Attack::random(0.1).epsilon(), 0.1);
+    }
+
+    #[test]
+    fn attack_constructors() {
+        assert_eq!(Attack::fgsm(0.1).epsilon(), 0.1);
+        assert_eq!(Attack::fgsm(0.1).name(), "FGSM");
+        let p = Attack::pgd(0.2);
+        assert_eq!(p.name(), "PGD");
+        match p {
+            Attack::Pgd { alpha, steps, .. } => {
+                assert!((alpha - 0.05).abs() < 1e-6);
+                assert_eq!(steps, 7);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

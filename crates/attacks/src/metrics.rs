@@ -1,0 +1,53 @@
+/// The result of attacking one model on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackOutcome {
+    /// Accuracy on the clean test inputs, in `[0, 1]`.
+    pub clean_accuracy: f32,
+    /// Accuracy on the adversarially perturbed inputs, in `[0, 1]`.
+    pub adversarial_accuracy: f32,
+}
+
+impl AttackOutcome {
+    /// The paper's *Adversarial Loss* in percentage points:
+    /// `AL = 100 · (clean − adversarial)`. Smaller is more robust.
+    pub fn adversarial_loss(&self) -> f32 {
+        100.0 * (self.clean_accuracy - self.adversarial_accuracy)
+    }
+}
+
+impl std::fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "clean {:.2}% adv {:.2}% (AL {:.2})",
+            self.clean_accuracy * 100.0,
+            self.adversarial_accuracy * 100.0,
+            self.adversarial_loss()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_loss_is_gap_in_points() {
+        let o = AttackOutcome {
+            clean_accuracy: 0.9,
+            adversarial_accuracy: 0.6,
+        };
+        assert!((o.adversarial_loss() - 30.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let o = AttackOutcome {
+            clean_accuracy: 0.875,
+            adversarial_accuracy: 0.5,
+        };
+        let s = o.to_string();
+        assert!(s.contains("87.50%"));
+        assert!(s.contains("AL 37.50"));
+    }
+}

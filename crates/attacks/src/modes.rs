@@ -1,0 +1,318 @@
+use crate::methods::{craft, Attack};
+use crate::AttackOutcome;
+use ahw_nn::util::num_threads;
+use ahw_nn::{NnError, Sequential};
+use ahw_tensor::Tensor;
+
+/// The paper's three attack/evaluation pairings (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackMode {
+    /// Gradients from the software model, evaluated on the software model.
+    AttackSw,
+    /// Software-inputs-on-hardware: gradients from the software model,
+    /// evaluated on the hardware model.
+    Sh,
+    /// Hardware-inputs-on-hardware: gradients from (and evaluation on) the
+    /// hardware model — the attacker sees the non-idealities.
+    Hh,
+}
+
+impl AttackMode {
+    /// Paper label (`"Attack-SW"`, `"SH"`, `"HH"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackMode::AttackSw => "Attack-SW",
+            AttackMode::Sh => "SH",
+            AttackMode::Hh => "HH",
+        }
+    }
+}
+
+/// Attacks `eval_model` with perturbations crafted from `grad_model`'s loss,
+/// over `(images, labels)` in parallel batches of `batch`.
+///
+/// Per-batch attack RNG (PGD random starts) is seeded by batch index, so
+/// results are independent of thread scheduling.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadConfig`] for empty/mismatched data or zero batch;
+/// propagates model errors.
+pub fn evaluate_attack(
+    grad_model: &Sequential,
+    eval_model: &Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    attack: Attack,
+    batch: usize,
+) -> Result<AttackOutcome, NnError> {
+    let n = images.dims()[0];
+    if labels.len() != n {
+        return Err(NnError::BadConfig(format!(
+            "{} labels for {n} images",
+            labels.len()
+        )));
+    }
+    if batch == 0 || n == 0 {
+        return Err(NnError::BadConfig("empty dataset or zero batch".into()));
+    }
+    let item = images.len() / n;
+    let chunks: Vec<(usize, usize)> = (0..n)
+        .step_by(batch)
+        .map(|lo| (lo, (lo + batch).min(n)))
+        .collect();
+    let threads = num_threads().min(chunks.len()).max(1);
+    let xv = images.as_slice();
+    let dims = images.dims();
+
+    let totals: Result<(usize, usize), NnError> = crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for worker in 0..threads {
+            let chunks = &chunks;
+            handles.push(s.spawn(move |_| -> Result<(usize, usize), NnError> {
+                // each worker differentiates through its own clone
+                let mut grad = grad_model.clone();
+                let (mut clean_ok, mut adv_ok) = (0usize, 0usize);
+                for (ci, &(lo, hi)) in chunks.iter().enumerate() {
+                    if ci % threads != worker {
+                        continue;
+                    }
+                    let mut bd = dims.to_vec();
+                    bd[0] = hi - lo;
+                    let xb = Tensor::from_vec(xv[lo * item..hi * item].to_vec(), &bd)?;
+                    let yb = &labels[lo..hi];
+                    let mut rng = ahw_tensor::rng::seeded(0xA77AC4 ^ ci as u64);
+                    let adv = craft(&mut grad, &xb, yb, attack, &mut rng)?;
+                    let clean_preds = eval_model.predict(&xb)?;
+                    let adv_preds = eval_model.predict(&adv)?;
+                    clean_ok += clean_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
+                    adv_ok += adv_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
+                }
+                Ok((clean_ok, adv_ok))
+            }));
+        }
+        let (mut clean_ok, mut adv_ok) = (0usize, 0usize);
+        for h in handles {
+            let (c, a) = h.join().expect("attack worker panicked")?;
+            clean_ok += c;
+            adv_ok += a;
+        }
+        Ok((clean_ok, adv_ok))
+    })
+    .expect("attack scope panicked");
+    let (clean_ok, adv_ok) = totals?;
+    Ok(AttackOutcome {
+        clean_accuracy: clean_ok as f32 / n as f32,
+        adversarial_accuracy: adv_ok as f32 / n as f32,
+    })
+}
+
+/// Runs one of the paper's modes given the software baseline and the
+/// hardware (noise-injected or crossbar-mapped) model.
+///
+/// # Errors
+///
+/// As [`evaluate_attack`].
+pub fn evaluate_mode(
+    software: &Sequential,
+    hardware: &Sequential,
+    mode: AttackMode,
+    images: &Tensor,
+    labels: &[usize],
+    attack: Attack,
+    batch: usize,
+) -> Result<AttackOutcome, NnError> {
+    let (grad_model, eval_model) = match mode {
+        AttackMode::AttackSw => (software, software),
+        AttackMode::Sh => (software, hardware),
+        AttackMode::Hh => (hardware, hardware),
+    };
+    evaluate_attack(grad_model, eval_model, images, labels, attack, batch)
+}
+
+/// Sweeps an attack over several ε values (the x-axis of the paper's
+/// Figs. 5–7), preserving every other attack parameter.
+///
+/// # Errors
+///
+/// As [`evaluate_attack`].
+pub fn sweep_epsilons(
+    grad_model: &Sequential,
+    eval_model: &Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    attack: Attack,
+    epsilons: &[f32],
+    batch: usize,
+) -> Result<Vec<(f32, AttackOutcome)>, NnError> {
+    epsilons
+        .iter()
+        .map(|&eps| {
+            let a = match attack {
+                Attack::Fgsm { .. } => Attack::Fgsm { epsilon: eps },
+                Attack::Pgd {
+                    alpha,
+                    steps,
+                    random_start,
+                    epsilon,
+                } => Attack::Pgd {
+                    epsilon: eps,
+                    alpha: alpha * eps / epsilon.max(1e-9),
+                    steps,
+                    random_start,
+                },
+                Attack::Random { .. } => Attack::Random { epsilon: eps },
+            };
+            Ok((
+                eps,
+                evaluate_attack(grad_model, eval_model, images, labels, a, batch)?,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahw_nn::layers::{Linear, ReLU};
+    use ahw_nn::train::{TrainConfig, Trainer};
+    use ahw_tensor::rng::{normal, seeded, uniform};
+
+    /// A trained two-blob classifier (so attacks have a real boundary to
+    /// push points across) plus test data.
+    fn trained_setup() -> (Sequential, Tensor, Vec<usize>) {
+        let mut r = seeded(1);
+        let gen = |n: usize, seed: u64| {
+            let mut rr = seeded(seed);
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for i in 0..n {
+                let label = i % 2;
+                let center = if label == 0 { 0.3 } else { 0.7 };
+                let p = normal(&[4], center, 0.08, &mut rr);
+                data.extend(p.as_slice().iter().map(|v| v.clamp(0.0, 1.0)));
+                labels.push(label);
+            }
+            (Tensor::from_vec(data, &[n, 4]).unwrap(), labels)
+        };
+        let (tx, ty) = gen(120, 2);
+        let mut model = Sequential::new();
+        model.push(Linear::new(4, 16, &mut r).unwrap());
+        model.push(ReLU::new());
+        model.push(Linear::new(16, 2, &mut r).unwrap());
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 12,
+            lr: 0.1,
+            batch_size: 16,
+            ..TrainConfig::default()
+        });
+        trainer.fit(&mut model, &tx, &ty, &mut seeded(3)).unwrap();
+        let (ex, ey) = gen(60, 4);
+        (model, ex, ey)
+    }
+
+    #[test]
+    fn attack_degrades_trained_model() {
+        let (model, x, y) = trained_setup();
+        let out = evaluate_attack(&model, &model, &x, &y, Attack::fgsm(0.25), 16).unwrap();
+        assert!(out.clean_accuracy > 0.9);
+        assert!(
+            out.adversarial_accuracy < out.clean_accuracy - 0.1,
+            "attack had no effect: {out}"
+        );
+    }
+
+    #[test]
+    fn stronger_epsilon_does_more_damage() {
+        let (model, x, y) = trained_setup();
+        let sweep =
+            sweep_epsilons(&model, &model, &x, &y, Attack::fgsm(0.1), &[0.05, 0.3], 16).unwrap();
+        assert!(sweep[1].1.adversarial_accuracy <= sweep[0].1.adversarial_accuracy);
+    }
+
+    #[test]
+    fn pgd_is_at_least_as_strong_as_fgsm() {
+        let (model, x, y) = trained_setup();
+        let f = evaluate_attack(&model, &model, &x, &y, Attack::fgsm(0.15), 16).unwrap();
+        let p = evaluate_attack(&model, &model, &x, &y, Attack::pgd(0.15), 16).unwrap();
+        assert!(p.adversarial_accuracy <= f.adversarial_accuracy + 0.05);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_across_runs() {
+        let (model, x, y) = trained_setup();
+        let a = evaluate_attack(&model, &model, &x, &y, Attack::pgd(0.1), 8).unwrap();
+        let b = evaluate_attack(&model, &model, &x, &y, Attack::pgd(0.1), 8).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modes_select_the_right_models() {
+        let (software, x, y) = trained_setup();
+        // "hardware": the same net with persistently perturbed weights
+        let mut hardware = software.clone();
+        hardware.visit_params(&mut |p| {
+            p.value.map_in_place(|v| v * 0.9);
+        });
+        let sw = evaluate_mode(
+            &software,
+            &hardware,
+            AttackMode::AttackSw,
+            &x,
+            &y,
+            Attack::fgsm(0.1),
+            16,
+        )
+        .unwrap();
+        let sh = evaluate_mode(
+            &software,
+            &hardware,
+            AttackMode::Sh,
+            &x,
+            &y,
+            Attack::fgsm(0.1),
+            16,
+        )
+        .unwrap();
+        let hh = evaluate_mode(
+            &software,
+            &hardware,
+            AttackMode::Hh,
+            &x,
+            &y,
+            Attack::fgsm(0.1),
+            16,
+        )
+        .unwrap();
+        // SW clean accuracy comes from the software model; SH/HH from hardware
+        assert_eq!(sh.clean_accuracy, hh.clean_accuracy);
+        // the three modes are genuinely different pairings
+        assert_eq!(AttackMode::AttackSw.label(), "Attack-SW");
+        assert_eq!(AttackMode::Sh.label(), "SH");
+        assert_eq!(AttackMode::Hh.label(), "HH");
+        // degenerate sanity: all accuracies valid probabilities
+        for o in [sw, sh, hh] {
+            assert!((0.0..=1.0).contains(&o.clean_accuracy));
+            assert!((0.0..=1.0).contains(&o.adversarial_accuracy));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let (model, x, _) = trained_setup();
+        assert!(evaluate_attack(&model, &model, &x, &[0, 1], Attack::fgsm(0.1), 8).is_err());
+        let y: Vec<usize> = (0..x.dims()[0]).map(|i| i % 2).collect();
+        assert!(evaluate_attack(&model, &model, &x, &y, Attack::fgsm(0.1), 0).is_err());
+    }
+
+    #[test]
+    fn untrained_uniform_inputs_smoke() {
+        let mut r = seeded(9);
+        let mut m = Sequential::new();
+        m.push(Linear::new(5, 3, &mut r).unwrap());
+        let x = uniform(&[7, 5], 0.0, 1.0, &mut r);
+        let y = vec![0, 1, 2, 0, 1, 2, 0];
+        let out = evaluate_attack(&m, &m, &x, &y, Attack::pgd(0.2), 3).unwrap();
+        assert!(out.adversarial_accuracy <= out.clean_accuracy + 1e-6);
+    }
+}

@@ -1,0 +1,121 @@
+//! One Criterion bench per paper table/figure, exercising the same code the
+//! `exp_*` binaries run, at [`Scale::tiny`] and with trained checkpoints and
+//! selection plans pre-cached so each iteration measures the *experiment*
+//! cost, not training. The binaries produce the paper-scale numbers; these
+//! benches track regeneration cost and double as end-to-end smoke tests.
+
+use ahw_bench::experiments::{
+    crossbar_mode_sweep, defense_comparison_on, fig2_mu_sweep, fig5_al_sweep, r_min_study,
+    store_plan, table3_size_study,
+};
+use ahw_bench::{cache_dir, Scale};
+use ahw_core::hardware::{NoisePlan, PlannedSite};
+use ahw_core::selection::{select_noise_sites, SelectionConfig};
+use ahw_core::zoo::ArchId;
+use ahw_sram::{HybridMemoryConfig, HybridWordConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tiny() -> Scale {
+    Scale::tiny()
+}
+
+/// Pre-caches a one-site plan for an arch/classes pair so the Fig. 5 bench
+/// measures the ε-sweep rather than the Fig. 4 search.
+fn seed_plan(arch: ArchId, classes: usize) {
+    let key = format!("{}_{classes}c_w{:.4}_plan", arch.name(), tiny().width);
+    let plan = NoisePlan {
+        vdd: 0.68,
+        sites: vec![PlannedSite {
+            site_index: 0,
+            config: HybridMemoryConfig::new(HybridWordConfig::new(3, 5).unwrap(), 0.68).unwrap(),
+        }],
+    };
+    store_plan(&cache_dir(), &key, &plan).ok();
+}
+
+fn short(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_mu_sweep", |b| {
+        b.iter(|| fig2_mu_sweep(black_box(&[0.6, 0.65, 0.7, 0.75, 0.8])));
+    });
+}
+
+fn bench_tables_1_2(c: &mut Criterion) {
+    // the table experiments are dominated by the Fig. 4 search; bench one
+    // single-threshold search over VGG8's 9 sites with a 16-image probe
+    let spec = ArchId::Vgg8.build(4, tiny().width, 1).unwrap();
+    let images =
+        ahw_tensor::rng::uniform(&[16, 3, 32, 32], 0.0, 1.0, &mut ahw_tensor::rng::seeded(2));
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    let config = SelectionConfig {
+        improvement_threshold: 0.0,
+        batch: 16,
+        search_subset: 16,
+        ..SelectionConfig::default()
+    };
+    let mut group = c.benchmark_group("tables_1_2");
+    short(&mut group);
+    group.bench_function("fig4_search_vgg8_tiny", |b| {
+        b.iter(|| select_noise_sites(&spec, &images, &labels, &config).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    seed_plan(ArchId::Vgg19, 4);
+    let mut group = c.benchmark_group("fig5");
+    short(&mut group);
+    group.bench_function("fig5_vgg19_tiny", |b| {
+        b.iter(|| fig5_al_sweep(ArchId::Vgg19, 4, &tiny()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fig7");
+    short(&mut group);
+    group.bench_function("fig6_vgg8_tiny", |b| {
+        b.iter(|| crossbar_mode_sweep(ArchId::Vgg8, 4, &[16], &tiny()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    short(&mut group);
+    group.bench_function("table3_tiny", |b| {
+        b.iter(|| table3_size_study(&tiny()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    short(&mut group);
+    group.bench_function("fig8a_rmin_tiny", |b| {
+        b.iter(|| r_min_study(&tiny(), 8.0 / 255.0).unwrap());
+    });
+    group.bench_function("fig8bc_defenses_tiny", |b| {
+        b.iter(|| defense_comparison_on(ArchId::Vgg8, 4, &tiny(), 8.0 / 255.0).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_tables_1_2,
+    bench_fig5,
+    bench_fig6_fig7,
+    bench_table3,
+    bench_fig8
+);
+criterion_main!(figures);

@@ -1,0 +1,133 @@
+//! Criterion benchmarks for the hardware-simulation kernels: the hot paths
+//! behind every experiment (GEMM, im2col convolution, mesh solvers, bit-error
+//! injection, attack crafting).
+
+use ahw_crossbar::{
+    extract_effective_conductance, CrossbarConfig, NonIdealities, SolverKind, TiledMatrix,
+};
+use ahw_nn::layers::Conv2d;
+use ahw_nn::{Layer, Mode, Sequential};
+use ahw_sram::{BitErrorInjector, BitErrorModel, HybridMemoryConfig, HybridWordConfig};
+use ahw_tensor::{ops, rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Bounds every group so a single-core full-workspace `cargo bench` stays
+/// in minutes: 10 samples, short measurement windows.
+fn short(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    short(&mut group);
+    for n in [32usize, 128] {
+        let a = rng::uniform(&[n, n], -1.0, 1.0, &mut rng::seeded(1));
+        let b = rng::uniform(&[n, n], -1.0, 1.0, &mut rng::seeded(2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng_ = rng::seeded(3);
+    let conv = Conv2d::new(16, 32, 3, 1, 1, &mut rng_).unwrap();
+    let x = rng::normal(&[4, 16, 32, 32], 0.0, 1.0, &mut rng_);
+    let mut group = c.benchmark_group("conv2d");
+    short(&mut group);
+    group.bench_function("forward_4x16x32x32", |b| {
+        b.iter(|| conv.forward_infer(black_box(&x)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_mesh_solvers(c: &mut Criterion) {
+    let ni = NonIdealities::paper_default();
+    let mut group = c.benchmark_group("mesh_solver");
+    short(&mut group);
+    for k in [16usize, 32, 64] {
+        let g = rng::uniform(&[k * k], 5e-6, 5e-5, &mut rng::seeded(4)).into_vec();
+        group.bench_with_input(BenchmarkId::new("relaxation", k), &k, |bench, &k| {
+            bench.iter(|| {
+                extract_effective_conductance(
+                    black_box(&g),
+                    k,
+                    k,
+                    &ni,
+                    SolverKind::Relaxation { sweeps: 15 },
+                )
+                .unwrap()
+            });
+        });
+        if k <= 16 {
+            group.bench_with_input(BenchmarkId::new("exact", k), &k, |bench, &k| {
+                bench.iter(|| {
+                    extract_effective_conductance(black_box(&g), k, k, &ni, SolverKind::Exact)
+                        .unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_crossbar_programming(c: &mut Criterion) {
+    let w = rng::uniform(&[64, 256], -1.0, 1.0, &mut rng::seeded(5));
+    let cfg = CrossbarConfig::paper_default(32);
+    let mut group = c.benchmark_group("crossbar");
+    short(&mut group);
+    group.bench_function("program_64x256_on_32x32_tiles", |b| {
+        b.iter(|| {
+            TiledMatrix::program(black_box(&w), &cfg, &mut rng::seeded(6))
+                .unwrap()
+                .effective_weight()
+        });
+    });
+    group.finish();
+}
+
+fn bench_bit_error_injection(c: &mut Criterion) {
+    let cfg = HybridMemoryConfig::new(HybridWordConfig::new(4, 4).unwrap(), 0.62).unwrap();
+    let inj = BitErrorInjector::new(cfg, &BitErrorModel::srinivasan22nm(), 7);
+    let x = rng::uniform(&[16 * 32 * 32], 0.0, 1.0, &mut rng::seeded(8));
+    let mut group = c.benchmark_group("sram");
+    short(&mut group);
+    group.bench_function("bit_error_injection_16k", |b| {
+        b.iter(|| inj.corrupt(black_box(&x)));
+    });
+    group.finish();
+}
+
+fn bench_fgsm(c: &mut Criterion) {
+    let mut rng_ = rng::seeded(9);
+    let mut model = Sequential::new();
+    model.push(Conv2d::new(3, 8, 3, 1, 1, &mut rng_).unwrap());
+    model.push(ahw_nn::layers::Flatten::new());
+    model.push(ahw_nn::layers::Linear::new(8 * 16 * 16, 10, &mut rng_).unwrap());
+    let x = rng::uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng_);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let mut group = c.benchmark_group("attacks");
+    short(&mut group);
+    group.bench_function("fgsm_batch8", |b| {
+        b.iter(|| ahw_attacks::fgsm(black_box(&mut model), black_box(&x), &labels, 0.05).unwrap());
+    });
+    group.finish();
+    let _ = model.forward(&x, Mode::Eval);
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv_forward,
+    bench_mesh_solvers,
+    bench_crossbar_programming,
+    bench_bit_error_injection,
+    bench_fgsm
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 6: AL vs ε for Attack-SW / SH / HH (FGSM and PGD) on
+//! VGG8 + CIFAR-10-like data, crossbar sizes 16x16 and 32x32.
+
+use ahw_bench::experiments::{crossbar_mode_sweep, eps_label};
+use ahw_bench::{table, Args};
+use ahw_core::zoo::ArchId;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    println!("Fig. 6 — AL vs epsilon on crossbars, VGG8 / CIFAR10");
+    println!();
+    let rows = match crossbar_mode_sweep(ArchId::Vgg8, 10, &[16, 32], &scale) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for size in [16usize, 32] {
+        for attack in ["FGSM", "PGD"] {
+            println!("crossbar {size}x{size}, {attack}:");
+            let eps: Vec<f32> = rows
+                .iter()
+                .filter(|r| r.size == size && r.attack == attack && r.mode == "SH")
+                .map(|r| r.epsilon)
+                .collect();
+            let headers: Vec<String> = std::iter::once("mode".to_string())
+                .chain(eps.iter().map(|e| eps_label(*e)))
+                .collect();
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let body: Vec<Vec<String>> = ["Attack-SW", "SH", "HH"]
+                .iter()
+                .map(|mode| {
+                    std::iter::once(mode.to_string())
+                        .chain(
+                            rows.iter()
+                                .filter(|r| r.size == size && r.attack == attack && &r.mode == mode)
+                                .map(|r| format!("{:.2}", r.al)),
+                        )
+                        .collect()
+                })
+                .collect();
+            print!("{}", table::render(&header_refs, &body));
+            println!();
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 2 — average surgical-noise perturbation μ vs 8T-6T ratio, one curve
+//! per supply voltage.
+
+use ahw_sram::{mu_sweep, BitErrorModel};
+
+/// One row of the Fig. 2 data: a ratio and μ at each voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// `#8T/#6T` label (`"7/1"` … `"0/8"`).
+    pub ratio: String,
+    /// μ per voltage, aligned with the sweep's voltage grid.
+    pub mu: Vec<f32>,
+}
+
+/// Regenerates the Fig. 2 sweep over the given voltages (the paper plots
+/// 0.60 V – 0.80 V).
+pub fn fig2_mu_sweep(vdds: &[f32]) -> Vec<Fig2Row> {
+    let model = BitErrorModel::srinivasan22nm();
+    let (labels, rows) = mu_sweep(&model, vdds);
+    labels
+        .into_iter()
+        .zip(rows)
+        .map(|(ratio, mu)| Fig2Row { ratio, mu })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_eight_ratios_and_matches_voltages() {
+        let rows = fig2_mu_sweep(&[0.6, 0.7, 0.8]);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert_eq!(r.mu.len(), 3);
+        }
+        // paper trends: μ grows with 6T count and with voltage scaling
+        assert!(rows[7].mu[0] > rows[0].mu[0]);
+        assert!(rows[4].mu[0] > rows[4].mu[2]);
+    }
+}

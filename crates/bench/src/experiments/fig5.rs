@@ -1,0 +1,127 @@
+//! Fig. 5 — Adversarial Loss vs FGSM ε, baseline vs bit-error-noise models,
+//! for VGG19 and ResNet18 on both datasets.
+
+use super::{load_plan, load_trained, FIG5_EPSILONS};
+use crate::{cache_dir, Scale};
+use ahw_attacks::{sweep_epsilons, Attack};
+use ahw_core::hardware::{apply_noise_plan, apply_weight_noise_plan, NoisePlan};
+use ahw_core::selection::{select_noise_sites, SelectionConfig};
+use ahw_core::zoo::ArchId;
+use ahw_nn::NnError;
+
+/// One curve pair of Fig. 5: AL(ε) for the baseline and the noise-injected
+/// model of one architecture/dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Series {
+    /// `"vgg19"` / `"resnet18"`.
+    pub arch: String,
+    /// Dataset tag.
+    pub dataset: String,
+    /// The ε grid.
+    pub epsilons: Vec<f32>,
+    /// Baseline AL per ε (percentage points).
+    pub baseline_al: Vec<f32>,
+    /// Noise-injected AL per ε.
+    pub noisy_al: Vec<f32>,
+    /// How many sites the plan noise-injects.
+    pub plan_sites: usize,
+    /// Which memory the noise targets (`"activations"` / `"weights"`).
+    pub noise_target: String,
+}
+
+/// Regenerates one Fig. 5 curve pair. Reuses a cached Fig.-4 plan from a
+/// previous `exp_table1`/`exp_table2` run when available (same plan key),
+/// otherwise runs the search with the paper's settings.
+///
+/// # Errors
+///
+/// Propagates zoo/selection/attack errors.
+pub fn fig5_al_sweep(
+    arch: ArchId,
+    num_classes: usize,
+    scale: &Scale,
+) -> Result<Fig5Series, NnError> {
+    fig5_al_sweep_target(arch, num_classes, scale, false)
+}
+
+/// As [`fig5_al_sweep`], with the paper's activations-vs-weights ablation:
+/// when `weight_noise` is true the plan corrupts parameter memories instead
+/// of activation memories (§III-A reports this as the weaker defense).
+///
+/// # Errors
+///
+/// Propagates zoo/selection/attack errors.
+pub fn fig5_al_sweep_target(
+    arch: ArchId,
+    num_classes: usize,
+    scale: &Scale,
+    weight_noise: bool,
+) -> Result<Fig5Series, NnError> {
+    let (trained, images, labels) = load_trained(arch, num_classes, scale)?;
+    let spec = &trained.spec;
+    let plan_key = format!("{}_{}c_w{:.4}_plan", arch.name(), num_classes, scale.width);
+    let plan: NoisePlan = match load_plan(&cache_dir(), &plan_key) {
+        Some(plan) => {
+            eprintln!(
+                "fig5: using cached plan {plan_key} ({} sites)",
+                plan.sites.len()
+            );
+            plan
+        }
+        None => {
+            eprintln!("fig5: no cached plan, running Fig. 4 search for {plan_key}");
+            let probe_eps = super::adaptive_probe_eps(&spec.model, &images, &labels, scale.batch)?;
+            let config = SelectionConfig {
+                vdd: 0.68,
+                attack: Attack::fgsm(probe_eps),
+                improvement_threshold: 0.0,
+                batch: scale.batch,
+                ..SelectionConfig::default()
+            };
+            let outcome = select_noise_sites(spec, &images, &labels, &config)?;
+            super::store_plan(&cache_dir(), &plan_key, &outcome.plan).ok();
+            outcome.plan
+        }
+    };
+    let hardware = if weight_noise {
+        apply_weight_noise_plan(spec, &plan, 0xF165 ^ num_classes as u64)?
+    } else {
+        apply_noise_plan(spec, &plan, 0xF165 ^ num_classes as u64)?
+    };
+
+    // baseline: white-box FGSM on the software model
+    let baseline = sweep_epsilons(
+        &spec.model,
+        &spec.model,
+        &images,
+        &labels,
+        Attack::fgsm(0.1),
+        &FIG5_EPSILONS,
+        scale.batch,
+    )?;
+    // noisy: gradients from the clean model (paper protocol), evaluated on
+    // the bit-error-injected model
+    let noisy = sweep_epsilons(
+        &spec.model,
+        &hardware,
+        &images,
+        &labels,
+        Attack::fgsm(0.1),
+        &FIG5_EPSILONS,
+        scale.batch,
+    )?;
+    Ok(Fig5Series {
+        arch: arch.name().to_string(),
+        dataset: format!("CIFAR{num_classes}"),
+        epsilons: FIG5_EPSILONS.to_vec(),
+        baseline_al: baseline.iter().map(|(_, o)| o.adversarial_loss()).collect(),
+        noisy_al: noisy.iter().map(|(_, o)| o.adversarial_loss()).collect(),
+        plan_sites: plan.sites.len(),
+        noise_target: if weight_noise {
+            "weights"
+        } else {
+            "activations"
+        }
+        .to_string(),
+    })
+}

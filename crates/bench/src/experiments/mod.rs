@@ -1,0 +1,108 @@
+//! Parameterized experiment implementations, one per paper artifact.
+//!
+//! Binaries print the returned rows; the `figures` Criterion bench runs
+//! miniature versions of the same functions.
+
+mod ablations;
+mod crossbar_sweeps;
+mod defense_compare;
+mod fig2;
+mod fig5;
+mod plan_cache;
+mod tables12;
+
+pub use ablations::{run_ablations, AblationRow};
+pub use crossbar_sweeps::{crossbar_mode_sweep, r_min_study, table3_size_study, CrossbarSweepRow};
+pub use defense_compare::{defense_comparison, defense_comparison_on, DefenseRow};
+pub use fig2::{fig2_mu_sweep, Fig2Row};
+pub use fig5::{fig5_al_sweep, fig5_al_sweep_target, Fig5Series};
+pub use plan_cache::{load_plan, store_plan};
+pub use tables12::{hybrid_config_table, HybridTable};
+
+use crate::{cache_dir, Scale};
+use ahw_core::zoo::{train_or_load, ArchId, TrainedModel};
+use ahw_nn::NnError;
+use ahw_tensor::Tensor;
+
+/// Loads (training on a cache miss) the model for `arch`/`num_classes` at
+/// the given scale, and slices out the attack-evaluation split.
+///
+/// # Errors
+///
+/// Propagates zoo errors.
+pub fn load_trained(
+    arch: ArchId,
+    num_classes: usize,
+    scale: &Scale,
+) -> Result<(TrainedModel, Tensor, Vec<usize>), NnError> {
+    let zoo_cfg = scale.zoo(arch, num_classes);
+    let trained = train_or_load(&cache_dir(), &zoo_cfg)?;
+    eprintln!(
+        "model {} ({} classes): test accuracy {:.2}% ({})",
+        arch.name(),
+        num_classes,
+        trained.test_accuracy * 100.0,
+        if trained.from_cache {
+            "cached"
+        } else {
+            "freshly trained"
+        },
+    );
+    let n = scale.test_size.min(trained.data.test().len());
+    let (images, labels) = trained.data.test().batch(0, n);
+    Ok((trained, images, labels))
+}
+
+/// Picks the strongest probe ε ∈ {0.1, 0.05, 0.02} that leaves the model's
+/// baseline adversarial accuracy measurably above zero on a 64-image probe —
+/// a saturated probe (0 % at every configuration) cannot rank noise sites.
+///
+/// # Errors
+///
+/// Propagates attack errors.
+pub fn adaptive_probe_eps(
+    model: &ahw_nn::Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    batch: usize,
+) -> Result<f32, NnError> {
+    let mut chosen = 0.02f32;
+    let n = 64.min(images.dims()[0]);
+    let item = images.len() / images.dims()[0].max(1);
+    let mut d = images.dims().to_vec();
+    d[0] = n;
+    let probe_images =
+        Tensor::from_vec(images.as_slice()[..n * item].to_vec(), &d).map_err(NnError::Tensor)?;
+    let probe_labels = &labels[..n];
+    for eps in [0.1f32, 0.05, 0.02] {
+        chosen = eps;
+        let base = ahw_attacks::evaluate_attack(
+            model,
+            model,
+            &probe_images,
+            probe_labels,
+            ahw_attacks::Attack::fgsm(eps),
+            batch,
+        )?;
+        if base.adversarial_accuracy >= 0.03 {
+            break;
+        }
+    }
+    Ok(chosen)
+}
+
+/// The FGSM ε grid of Fig. 5 (pixel-unit strengths 0.05 … 0.3).
+pub const FIG5_EPSILONS: [f32; 6] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+
+/// The ε grid of Figs. 6–7 / Table III: {2, 4, 8, 16, 32}/255.
+pub fn eps_255() -> Vec<f32> {
+    [2.0, 4.0, 8.0, 16.0, 32.0]
+        .iter()
+        .map(|e| e / 255.0)
+        .collect()
+}
+
+/// Formats a `k/255` ε for table headers.
+pub fn eps_label(eps: f32) -> String {
+    format!("{}/255", (eps * 255.0).round() as u32)
+}

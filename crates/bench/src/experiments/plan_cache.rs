@@ -1,0 +1,81 @@
+//! Tiny text cache for selection plans, so Tables I/II and Fig. 5 share one
+//! (expensive) Fig.-4 search per model.
+//!
+//! Format: first line `vdd <volts>`, then one `site <index> <8T> <6T>` line
+//! per planned site.
+
+use ahw_core::hardware::{NoisePlan, PlannedSite};
+use ahw_sram::{HybridMemoryConfig, HybridWordConfig};
+use std::path::Path;
+
+/// Writes `plan` under `dir/<key>.plan`.
+///
+/// # Errors
+///
+/// Returns an I/O error string on failure.
+pub fn store_plan(dir: &Path, key: &str, plan: &NoisePlan) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let mut text = format!("vdd {}\n", plan.vdd);
+    for s in &plan.sites {
+        text.push_str(&format!(
+            "site {} {} {}\n",
+            s.site_index,
+            s.config.word().eight_t(),
+            s.config.word().six_t()
+        ));
+    }
+    std::fs::write(dir.join(format!("{key}.plan")), text).map_err(|e| e.to_string())
+}
+
+/// Loads a plan stored by [`store_plan`]; `None` if absent or unparsable.
+pub fn load_plan(dir: &Path, key: &str) -> Option<NoisePlan> {
+    let text = std::fs::read_to_string(dir.join(format!("{key}.plan"))).ok()?;
+    let mut lines = text.lines();
+    let vdd: f32 = lines.next()?.strip_prefix("vdd ")?.trim().parse().ok()?;
+    let mut sites = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        if parts.next()? != "site" {
+            return None;
+        }
+        let site_index: usize = parts.next()?.parse().ok()?;
+        let eight_t: u8 = parts.next()?.parse().ok()?;
+        let six_t: u8 = parts.next()?.parse().ok()?;
+        let word = HybridWordConfig::new(eight_t, six_t).ok()?;
+        let config = HybridMemoryConfig::new(word, vdd).ok()?;
+        sites.push(PlannedSite { site_index, config });
+    }
+    Some(NoisePlan { vdd, sites })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let dir = std::env::temp_dir().join("ahw_plan_cache");
+        let plan = NoisePlan {
+            vdd: 0.68,
+            sites: vec![PlannedSite {
+                site_index: 3,
+                config: HybridMemoryConfig::new(HybridWordConfig::new(5, 3).unwrap(), 0.68)
+                    .unwrap(),
+            }],
+        };
+        store_plan(&dir, "test_key", &plan).unwrap();
+        let back = load_plan(&dir, "test_key").unwrap();
+        assert_eq!(back, plan);
+        assert!(load_plan(&dir, "missing").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let dir = std::env::temp_dir().join("ahw_plan_cache2");
+        let plan = NoisePlan::baseline(0.7);
+        store_plan(&dir, "empty", &plan).unwrap();
+        assert_eq!(load_plan(&dir, "empty").unwrap(), plan);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

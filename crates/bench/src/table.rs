@@ -1,0 +1,66 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders rows as an aligned, pipe-separated table with a header rule.
+///
+/// ```
+/// let s = ahw_bench::table::render(
+///     &["eps", "AL"],
+///     &[vec!["0.05".to_string(), "12.3".to_string()]],
+/// );
+/// assert!(s.contains("eps"));
+/// assert!(s.contains("12.3"));
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: Vec<String>, out: &mut String| {
+        let formatted: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(4)))
+            .collect();
+        out.push_str("| ");
+        out.push_str(&formatted.join(" | "));
+        out.push_str(" |\n");
+    };
+    line(headers.iter().map(|h| h.to_string()).collect(), &mut out);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(rule, &mut out);
+    for row in rows {
+        line(row.clone(), &mut out);
+    }
+    out
+}
+
+/// Formats an f32 with `digits` decimals.
+pub fn fmt(v: f32, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render(
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines equal width
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.2345, 2), "1.23");
+    }
+}

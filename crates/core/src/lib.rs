@@ -1,0 +1,42 @@
+//! # ahw-core
+//!
+//! The paper's primary contribution, assembled over the workspace
+//! substrates:
+//!
+//! * [`selection`] — the Fig. 4 methodology: sweep hybrid 8T-6T memory
+//!   configurations per activation-memory site, shortlist the sites whose
+//!   bit-error noise improves adversarial accuracy beyond a threshold, then
+//!   search site combinations and emit the final noise plan (the contents of
+//!   the paper's Tables I and II);
+//! * [`hardware`] — constructing the *hardware* variant of a trained
+//!   software model: either a noise plan installed as activation hooks
+//!   (hybrid SRAM) or a crossbar-mapped rewrite (`ahw-crossbar`);
+//! * [`zoo`] — a train-or-load cache of the paper's trained networks so
+//!   every experiment binary shares identical checkpoints.
+//!
+//! ## Example: applying a hand-written noise plan
+//!
+//! ```
+//! use ahw_core::hardware::{apply_noise_plan, NoisePlan, PlannedSite};
+//! use ahw_nn::archs;
+//! use ahw_sram::{HybridMemoryConfig, HybridWordConfig};
+//! use ahw_tensor::rng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = archs::vgg8(10, 0.0625, &mut rng::seeded(0))?;
+//! let plan = NoisePlan {
+//!     vdd: 0.68,
+//!     sites: vec![PlannedSite {
+//!         site_index: 1,
+//!         config: HybridMemoryConfig::new(HybridWordConfig::new(3, 5)?, 0.68)?,
+//!     }],
+//! };
+//! let noisy = apply_noise_plan(&spec, &plan, 42)?;
+//! assert_eq!(noisy.len(), spec.model.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod hardware;
+pub mod selection;
+pub mod zoo;

@@ -1,0 +1,366 @@
+//! The Fig. 4 layer-selection methodology.
+//!
+//! Given a trained model and its activation-memory sites, the search
+//!
+//! 1. sweeps the number of 6T cells (1..=8) per site at a fixed `Vdd`,
+//!    launching a fixed-strength FGSM attack against each configuration
+//!    (gradients come from the *clean* model — the paper excludes bit-error
+//!    noise from the attacker's gradient computation);
+//! 2. keeps each site's best configuration, and shortlists the sites whose
+//!    best adversarial accuracy beats the noise-free baseline by more than
+//!    a threshold (5 % in the paper);
+//! 3. evaluates combinations of shortlisted sites and returns the best one
+//!    as a [`NoisePlan`] — the row printed in Tables I and II.
+
+use crate::hardware::{apply_noise_plan, NoisePlan, PlannedSite};
+use ahw_attacks::{evaluate_attack, Attack, AttackOutcome};
+use ahw_nn::archs::ModelSpec;
+use ahw_nn::NnError;
+use ahw_sram::{HybridMemoryConfig, HybridWordConfig, SramError, WORD_BITS};
+use ahw_tensor::Tensor;
+
+/// Parameters of the Fig. 4 search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionConfig {
+    /// Supply voltage held fixed during the search (0.68 V in the paper).
+    pub vdd: f32,
+    /// The probe attack (the paper uses FGSM at a fixed ε).
+    pub attack: Attack,
+    /// Shortlist threshold in accuracy points (paper: 5 %).
+    pub improvement_threshold: f32,
+    /// Upper bound on exhaustive combination search; more shortlisted sites
+    /// than this fall back to greedy forward selection.
+    pub max_exhaustive_sites: usize,
+    /// Evaluation batch size.
+    pub batch: usize,
+    /// Number of probe images used during the per-site sweep and the
+    /// combination search (0 = all). The baseline and the final combined
+    /// outcome are always measured on the full set; the sweep only needs
+    /// enough resolution to *rank* configurations, so a small probe keeps
+    /// the 8·#sites attack evaluations tractable.
+    pub search_subset: usize,
+    /// Seed for the injected-noise streams.
+    pub seed: u64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            vdd: 0.68,
+            attack: Attack::fgsm(0.1),
+            improvement_threshold: 0.05,
+            max_exhaustive_sites: 4,
+            batch: 64,
+            search_subset: 64,
+            seed: 0x5E1EC7,
+        }
+    }
+}
+
+/// The best configuration found for one site during step 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteResult {
+    /// Index into [`ModelSpec::sites`].
+    pub site_index: usize,
+    /// The site's paper-style label.
+    pub label: String,
+    /// Best hybrid memory configuration for this site.
+    pub config: HybridMemoryConfig,
+    /// Adversarial accuracy with noise at this site only.
+    pub adversarial_accuracy: f32,
+    /// Whether the site beat the baseline by more than the threshold.
+    pub shortlisted: bool,
+}
+
+/// The full outcome of the methodology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionOutcome {
+    /// Noise-free baseline under the probe attack.
+    pub baseline: AttackOutcome,
+    /// Step-1 result per site, in site order.
+    pub per_site: Vec<SiteResult>,
+    /// The winning combination as a deployable plan.
+    pub plan: NoisePlan,
+    /// The winning combination's accuracies under the probe attack.
+    pub combined: AttackOutcome,
+}
+
+fn memory_config(six_t: u8, vdd: f32) -> Result<HybridMemoryConfig, SramError> {
+    HybridMemoryConfig::new(HybridWordConfig::new(WORD_BITS - six_t, six_t)?, vdd)
+}
+
+fn to_nn_err(e: SramError) -> NnError {
+    NnError::BadConfig(format!("hybrid memory config: {e}"))
+}
+
+/// Runs the Fig. 4 methodology.
+///
+/// # Errors
+///
+/// Propagates model/attack errors; [`NnError::BadConfig`] for an invalid
+/// voltage.
+pub fn select_noise_sites(
+    spec: &ModelSpec,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SelectionConfig,
+) -> Result<SelectionOutcome, NnError> {
+    // noise-free baseline: attack the software model directly
+    let baseline = evaluate_attack(
+        &spec.model,
+        &spec.model,
+        images,
+        labels,
+        config.attack,
+        config.batch,
+    )?;
+
+    // probe subset for the sweep (ranking only)
+    let n = images.dims()[0];
+    let probe_n = if config.search_subset == 0 {
+        n
+    } else {
+        config.search_subset.min(n)
+    };
+    let item = images.len() / n.max(1);
+    let probe_images = Tensor::from_vec(images.as_slice()[..probe_n * item].to_vec(), &{
+        let mut d = images.dims().to_vec();
+        d[0] = probe_n;
+        d
+    })?;
+    let probe_labels = &labels[..probe_n];
+    let probe_baseline = if probe_n == n {
+        baseline
+    } else {
+        evaluate_attack(
+            &spec.model,
+            &spec.model,
+            &probe_images,
+            probe_labels,
+            config.attack,
+            config.batch,
+        )?
+    };
+
+    // step 1: per-site sweep over 6T cell counts at fixed Vdd
+    let mut per_site = Vec::with_capacity(spec.sites.len());
+    for (site_index, site) in spec.sites.iter().enumerate() {
+        eprint!(
+            "  fig4 search: site {:>2}/{} ({})\r",
+            site_index + 1,
+            spec.sites.len(),
+            site.label
+        );
+        let mut best: Option<(HybridMemoryConfig, f32)> = None;
+        for six_t in 1..=WORD_BITS {
+            let mem = memory_config(six_t, config.vdd).map_err(to_nn_err)?;
+            let plan = NoisePlan {
+                vdd: config.vdd,
+                sites: vec![PlannedSite {
+                    site_index,
+                    config: mem,
+                }],
+            };
+            let hardware = apply_noise_plan(spec, &plan, config.seed)?;
+            // gradients from the clean model, evaluation on the noisy one
+            let outcome = evaluate_attack(
+                &spec.model,
+                &hardware,
+                &probe_images,
+                probe_labels,
+                config.attack,
+                config.batch,
+            )?;
+            if best.is_none_or(|(_, acc)| outcome.adversarial_accuracy > acc) {
+                best = Some((mem, outcome.adversarial_accuracy));
+            }
+        }
+        let (best_config, best_acc) = best.expect("at least one 6T count swept");
+        per_site.push(SiteResult {
+            site_index,
+            label: site.label.clone(),
+            config: best_config,
+            adversarial_accuracy: best_acc,
+            shortlisted: best_acc
+                > probe_baseline.adversarial_accuracy + config.improvement_threshold,
+        });
+    }
+
+    // step 2: shortlisted sites with their best configurations
+    let shortlisted: Vec<&SiteResult> = per_site.iter().filter(|s| s.shortlisted).collect();
+
+    // step 3: combination search
+    let evaluate_combo = |combo: &[&SiteResult]| -> Result<AttackOutcome, NnError> {
+        let plan = NoisePlan {
+            vdd: config.vdd,
+            sites: combo
+                .iter()
+                .map(|s| PlannedSite {
+                    site_index: s.site_index,
+                    config: s.config,
+                })
+                .collect(),
+        };
+        let hardware = apply_noise_plan(spec, &plan, config.seed)?;
+        evaluate_attack(
+            &spec.model,
+            &hardware,
+            &probe_images,
+            probe_labels,
+            config.attack,
+            config.batch,
+        )
+    };
+
+    let (chosen, probe_combined) = if shortlisted.is_empty() {
+        (Vec::new(), probe_baseline)
+    } else if shortlisted.len() <= config.max_exhaustive_sites {
+        // exhaustive over non-empty subsets
+        let mut best: Option<(Vec<&SiteResult>, AttackOutcome)> = None;
+        for mask in 1u32..(1 << shortlisted.len()) {
+            let combo: Vec<&SiteResult> = shortlisted
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| mask & (1 << k) != 0)
+                .map(|(_, s)| *s)
+                .collect();
+            let outcome = evaluate_combo(&combo)?;
+            if best
+                .as_ref()
+                .is_none_or(|(_, b)| outcome.adversarial_accuracy > b.adversarial_accuracy)
+            {
+                best = Some((combo, outcome));
+            }
+        }
+        best.expect("at least one subset evaluated")
+    } else {
+        // greedy forward selection, best-gain-first
+        let mut remaining = shortlisted.clone();
+        remaining.sort_by(|a, b| {
+            b.adversarial_accuracy
+                .partial_cmp(&a.adversarial_accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut combo: Vec<&SiteResult> = Vec::new();
+        let mut best_outcome = probe_baseline;
+        for candidate in remaining {
+            let mut trial = combo.clone();
+            trial.push(candidate);
+            let outcome = evaluate_combo(&trial)?;
+            if outcome.adversarial_accuracy > best_outcome.adversarial_accuracy {
+                combo = trial;
+                best_outcome = outcome;
+            }
+        }
+        if combo.is_empty() {
+            // even singletons regressed in combination-eval; fall back to
+            // the single best shortlisted site
+            let top = *shortlisted
+                .iter()
+                .max_by(|a, b| {
+                    a.adversarial_accuracy
+                        .partial_cmp(&b.adversarial_accuracy)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("shortlist non-empty");
+            let outcome = evaluate_combo(&[top])?;
+            (vec![top], outcome)
+        } else {
+            (combo, best_outcome)
+        }
+    };
+
+    let plan = NoisePlan {
+        vdd: config.vdd,
+        sites: chosen
+            .iter()
+            .map(|s| PlannedSite {
+                site_index: s.site_index,
+                config: s.config,
+            })
+            .collect(),
+    };
+    eprintln!();
+    // the reported combined outcome is measured on the *full* set
+    let combined = if plan.sites.is_empty() {
+        baseline
+    } else if probe_n == n {
+        probe_combined
+    } else {
+        let hardware = apply_noise_plan(spec, &plan, config.seed)?;
+        evaluate_attack(
+            &spec.model,
+            &hardware,
+            images,
+            labels,
+            config.attack,
+            config.batch,
+        )?
+    };
+    Ok(SelectionOutcome {
+        baseline,
+        per_site,
+        plan,
+        combined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahw_nn::archs;
+    use ahw_tensor::rng::seeded;
+
+    /// A tiny spec + synthetic batch so the full search runs in test time.
+    fn tiny_setup() -> (ModelSpec, Tensor, Vec<usize>) {
+        let spec = archs::vgg8(4, 0.0625, &mut seeded(1)).unwrap();
+        let x = ahw_tensor::rng::uniform(&[24, 3, 32, 32], 0.0, 1.0, &mut seeded(2));
+        let labels = (0..24).map(|i| i % 4).collect();
+        (spec, x, labels)
+    }
+
+    fn fast_config() -> SelectionConfig {
+        SelectionConfig {
+            batch: 24,
+            ..SelectionConfig::default()
+        }
+    }
+
+    #[test]
+    fn selection_runs_end_to_end() {
+        let (spec, x, y) = tiny_setup();
+        let out = select_noise_sites(&spec, &x, &y, &fast_config()).unwrap();
+        assert_eq!(out.per_site.len(), spec.sites.len());
+        for s in &out.per_site {
+            assert!(!s.config.word().is_noise_free());
+            assert!((0.0..=1.0).contains(&s.adversarial_accuracy));
+        }
+        // plan only contains shortlisted (or empty)
+        for planned in &out.plan.sites {
+            assert!(out.per_site[planned.site_index].shortlisted);
+        }
+        // the chosen combination can never be worse than baseline
+        assert!(
+            out.combined.adversarial_accuracy + 1e-6 >= out.baseline.adversarial_accuracy
+                || !out.plan.sites.is_empty()
+        );
+    }
+
+    #[test]
+    fn untrained_model_yields_sane_baseline() {
+        let (spec, x, y) = tiny_setup();
+        let out = select_noise_sites(&spec, &x, &y, &fast_config()).unwrap();
+        assert!((0.0..=1.0).contains(&out.baseline.clean_accuracy));
+        assert!(out.baseline.adversarial_accuracy <= out.baseline.clean_accuracy + 0.5);
+    }
+
+    #[test]
+    fn table_row_round_trips_through_plan() {
+        let (spec, x, y) = tiny_setup();
+        let out = select_noise_sites(&spec, &x, &y, &fast_config()).unwrap();
+        let row = out.plan.table_row(&spec);
+        assert_eq!(row.len(), spec.sites.len());
+        let noisy = row.iter().filter(|c| *c != "H").count();
+        assert_eq!(noisy, out.plan.sites.len());
+    }
+}

@@ -1,0 +1,301 @@
+use crate::CrossbarError;
+
+/// Memristive device programming range.
+///
+/// Conductances are programmed between `G_MIN = 1/r_max` and
+/// `G_MAX = 1/r_min`; the paper's default device has `R_MIN = 20 kΩ` and an
+/// ON/OFF ratio of 10 (`R_MAX = 200 kΩ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Lowest programmable resistance (ON state), ohms.
+    pub r_min: f32,
+    /// Highest programmable resistance (OFF state), ohms.
+    pub r_max: f32,
+}
+
+impl DeviceParams {
+    /// The paper's default: `R_MIN = 20 kΩ`, ON/OFF = 10.
+    pub fn paper_default() -> Self {
+        DeviceParams {
+            r_min: 20e3,
+            r_max: 200e3,
+        }
+    }
+
+    /// A device with the given `r_min` keeping the paper's ON/OFF ratio of
+    /// 10 (used by the Fig. 8(a) `R_MIN` study).
+    pub fn with_r_min(r_min: f32) -> Self {
+        DeviceParams {
+            r_min,
+            r_max: 10.0 * r_min,
+        }
+    }
+
+    /// Maximum programmable conductance, siemens.
+    pub fn g_max(&self) -> f32 {
+        1.0 / self.r_min
+    }
+
+    /// Minimum programmable conductance, siemens.
+    pub fn g_min(&self) -> f32 {
+        1.0 / self.r_max
+    }
+
+    /// ON/OFF conductance ratio.
+    pub fn on_off_ratio(&self) -> f32 {
+        self.r_max / self.r_min
+    }
+
+    /// Validates physical plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::BadParams`] if resistances are non-positive,
+    /// non-finite, or `r_min >= r_max`.
+    pub fn validate(&self) -> Result<(), CrossbarError> {
+        if !(self.r_min.is_finite() && self.r_max.is_finite())
+            || self.r_min <= 0.0
+            || self.r_max <= self.r_min
+        {
+            return Err(CrossbarError::BadParams(format!(
+                "need 0 < r_min < r_max, got r_min={} r_max={}",
+                self.r_min, self.r_max
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The resistive (circuit-level) non-idealities of Fig. 3(a), modelled as
+/// parasitic resistances, plus device-level process variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonIdealities {
+    /// Input driver source resistance, ohms.
+    pub r_driver: f32,
+    /// Row (word-line) wire resistance per cell-to-cell segment, ohms.
+    pub r_wire_row: f32,
+    /// Column (bit-line) wire resistance per segment, ohms.
+    pub r_wire_col: f32,
+    /// Sense amplifier input resistance, ohms.
+    pub r_sense: f32,
+    /// Gaussian process variation of programmed conductances, as σ/μ
+    /// (0.10 in the paper). Zero disables variation.
+    pub variation_sigma: f32,
+}
+
+impl NonIdealities {
+    /// The paper's values: `Rdriver = 1 kΩ`, `Rwire_row = 5 Ω`,
+    /// `Rwire_col = 10 Ω`, `Rsense = 1 kΩ`, `σ/μ = 10 %`.
+    pub fn paper_default() -> Self {
+        NonIdealities {
+            r_driver: 1e3,
+            r_wire_row: 5.0,
+            r_wire_col: 10.0,
+            r_sense: 1e3,
+            variation_sigma: 0.10,
+        }
+    }
+
+    /// A perfectly ideal circuit (all parasitics and variation zero) —
+    /// mapping with this reproduces the software weights exactly.
+    pub fn ideal() -> Self {
+        NonIdealities {
+            r_driver: 0.0,
+            r_wire_row: 0.0,
+            r_wire_col: 0.0,
+            r_sense: 0.0,
+            variation_sigma: 0.0,
+        }
+    }
+
+    /// Validates physical plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::BadParams`] for negative or non-finite
+    /// values.
+    pub fn validate(&self) -> Result<(), CrossbarError> {
+        for (name, v) in [
+            ("r_driver", self.r_driver),
+            ("r_wire_row", self.r_wire_row),
+            ("r_wire_col", self.r_wire_col),
+            ("r_sense", self.r_sense),
+            ("variation_sigma", self.variation_sigma),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CrossbarError::BadParams(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How the sensed outputs are re-scaled after mapping — modelling the
+/// programmable ADC/sense-amplifier gain every crossbar deployment
+/// calibrates after programming (RxNN calls this the scaling factor).
+///
+/// Without calibration the systematic IR-drop attenuation compounds through
+/// the network and collides with digitally-stored batch-norm statistics;
+/// with it, only the *non-uniform* part of the non-idealities (position
+/// skew, sneak-path loading, process variation) remains — which is exactly
+/// the part the paper's robustness argument rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Calibration {
+    /// No post-mapping rescale (raw effective weights).
+    None,
+    /// One least-squares scalar per mapped matrix (a shared ADC gain).
+    PerLayer,
+    /// One least-squares scalar per output column — the default. Crossbar
+    /// columns each have their own ADC/sense path whose reference is trimmed
+    /// after programming, and batch-norm statistics are per-channel, so this
+    /// is both the realistic model and the one that keeps deep (13+ conv)
+    /// networks functional. What remains is exactly the within-column
+    /// position skew, shared-wire loading and process variation the paper's
+    /// robustness argument builds on.
+    #[default]
+    PerColumn,
+}
+
+/// Which resistive-mesh solver turns programmed conductances into the
+/// effective `G_nonideal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Alternating row/column ladder relaxation — `O(rows·cols)` per sweep,
+    /// used for all experiment-scale sweeps. The field is the sweep count.
+    Relaxation {
+        /// Number of relaxation sweeps (15 is ample for paper-scale
+        /// parasitics).
+        sweeps: usize,
+    },
+    /// Exact dense nodal analysis (Gaussian elimination over the full
+    /// `2·rows·cols` mesh). Cubic cost — intended for arrays up to ~32×32
+    /// and for validating the relaxation.
+    Exact,
+}
+
+impl Default for SolverKind {
+    fn default() -> Self {
+        SolverKind::Relaxation { sweeps: 15 }
+    }
+}
+
+/// Full crossbar operating point: array size, device, circuit, variation
+/// seed, and solver choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarConfig {
+    /// Array edge `K` (tiles are `K×K`): 16, 32 and 64 in the paper.
+    pub size: usize,
+    /// Device programming range.
+    pub device: DeviceParams,
+    /// Circuit parasitics and process variation.
+    pub nonideal: NonIdealities,
+    /// Seed for the process-variation draw (a chip instance).
+    pub seed: u64,
+    /// Mesh solver.
+    pub solver: SolverKind,
+    /// Post-mapping ADC gain calibration.
+    pub calibration: Calibration,
+}
+
+impl CrossbarConfig {
+    /// The paper's operating point at a given array size.
+    pub fn paper_default(size: usize) -> Self {
+        CrossbarConfig {
+            size,
+            device: DeviceParams::paper_default(),
+            nonideal: NonIdealities::paper_default(),
+            seed: 0xC0_55BA,
+            solver: SolverKind::default(),
+            calibration: Calibration::default(),
+        }
+    }
+
+    /// An ideal (parasitic-free, variation-free) crossbar of the same size.
+    pub fn ideal(size: usize) -> Self {
+        CrossbarConfig {
+            size,
+            device: DeviceParams::paper_default(),
+            nonideal: NonIdealities::ideal(),
+            seed: 0,
+            solver: SolverKind::default(),
+            calibration: Calibration::default(),
+        }
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::BadParams`] for a zero array size or invalid
+    /// device/circuit values.
+    pub fn validate(&self) -> Result<(), CrossbarError> {
+        if self.size == 0 {
+            return Err(CrossbarError::BadParams("array size must be > 0".into()));
+        }
+        self.device.validate()?;
+        self.nonideal.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_iiib() {
+        let d = DeviceParams::paper_default();
+        assert_eq!(d.r_min, 20e3);
+        assert_eq!(d.on_off_ratio(), 10.0);
+        let n = NonIdealities::paper_default();
+        assert_eq!(n.r_driver, 1e3);
+        assert_eq!(n.r_wire_row, 5.0);
+        assert_eq!(n.r_wire_col, 10.0);
+        assert_eq!(n.r_sense, 1e3);
+        assert!((n.variation_sigma - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_r_min_keeps_on_off_ratio() {
+        let d = DeviceParams::with_r_min(10e3);
+        assert_eq!(d.r_max, 100e3);
+        assert_eq!(d.on_off_ratio(), 10.0);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(DeviceParams {
+            r_min: -1.0,
+            r_max: 10.0
+        }
+        .validate()
+        .is_err());
+        assert!(DeviceParams {
+            r_min: 10.0,
+            r_max: 5.0
+        }
+        .validate()
+        .is_err());
+        let mut n = NonIdealities::paper_default();
+        n.r_sense = f32::NAN;
+        assert!(n.validate().is_err());
+        let mut c = CrossbarConfig::paper_default(16);
+        c.size = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ideal_config_has_no_parasitics() {
+        let c = CrossbarConfig::ideal(32);
+        assert_eq!(c.nonideal, NonIdealities::ideal());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn conductance_bounds() {
+        let d = DeviceParams::paper_default();
+        assert!((d.g_max() - 5e-5).abs() < 1e-9);
+        assert!((d.g_min() - 5e-6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! First-order energy and area accounting for crossbar MVMs.
+//!
+//! The paper's premise is that analog crossbars buy energy efficiency and
+//! the robustness comes "for free"; this module quantifies the first half
+//! so experiment outputs can report both sides of the trade. The model is
+//! deliberately first-order (static dot-product power + per-conversion ADC
+//! energy), in the spirit of PUMA/RxNN-style architectural estimates.
+
+use crate::{CrossbarConfig, TiledMatrix};
+
+/// Read voltage applied to the rows during an MVM, volts.
+pub const READ_VOLTAGE: f32 = 0.5;
+
+/// Duration of one analog integration window, seconds (100 ns).
+pub const READ_TIME_S: f32 = 100e-9;
+
+/// Energy per ADC conversion, joules (2 pJ — an 8-bit SAR at this node).
+pub const ADC_ENERGY_J: f32 = 2e-12;
+
+/// Cell area of a 1T1R bit cell, m² (a 40 F² cell at 22 nm).
+pub const CELL_AREA_M2: f32 = 40.0 * 22e-9 * 22e-9;
+
+/// First-order energy estimate for one MVM through a mapped matrix.
+///
+/// Every programmed device (both halves of each differential pair) conducts
+/// under the read voltage for the integration window at its *mean*
+/// programmed conductance (approximated here by the mid-range conductance,
+/// since the exact values live inside the tiles), plus one ADC conversion
+/// per tile column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvmEnergy {
+    /// Analog array energy, joules.
+    pub array_j: f32,
+    /// ADC conversion energy, joules.
+    pub adc_j: f32,
+}
+
+impl MvmEnergy {
+    /// Total per-MVM energy in joules.
+    pub fn total_j(&self) -> f32 {
+        self.array_j + self.adc_j
+    }
+}
+
+/// Estimates per-MVM energy for a `(out, in)` matrix under `config`.
+///
+/// ```
+/// use ahw_crossbar::{energy, CrossbarConfig};
+///
+/// let e = energy::mvm_energy(64, 128, &CrossbarConfig::paper_default(32));
+/// assert!(e.total_j() > 0.0);
+/// // lower R_MIN conducts more: more array energy
+/// let mut low = CrossbarConfig::paper_default(32);
+/// low.device = ahw_crossbar::DeviceParams::with_r_min(10e3);
+/// assert!(energy::mvm_energy(64, 128, &low).array_j > e.array_j);
+/// ```
+pub fn mvm_energy(out_features: usize, in_features: usize, config: &CrossbarConfig) -> MvmEnergy {
+    let devices = 2 * out_features * in_features; // differential pairs
+    let g_mid = 0.5 * (config.device.g_min() + config.device.g_max());
+    let array_j = devices as f32 * g_mid * READ_VOLTAGE * READ_VOLTAGE * READ_TIME_S;
+    // one conversion per (tile, column): ceil(in/K) tiles stacked per column
+    let tiles_per_column = in_features.div_ceil(config.size);
+    let conversions = out_features * tiles_per_column;
+    MvmEnergy {
+        array_j,
+        adc_j: conversions as f32 * ADC_ENERGY_J,
+    }
+}
+
+/// Silicon area of the arrays realizing a mapped matrix, m²
+/// (devices only; periphery excluded, as in first-order array comparisons).
+pub fn array_area(tiled: &TiledMatrix) -> f32 {
+    // differential pairs: two devices per logical cell
+    2.0 * (tiled.out_features() * tiled.in_features()) as f32 * CELL_AREA_M2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceParams;
+
+    #[test]
+    fn energy_scales_with_matrix_size() {
+        let cfg = CrossbarConfig::paper_default(32);
+        let small = mvm_energy(16, 16, &cfg);
+        let large = mvm_energy(64, 64, &cfg);
+        assert!(large.total_j() > small.total_j() * 10.0);
+    }
+
+    #[test]
+    fn lower_r_min_costs_more_array_energy() {
+        let base = CrossbarConfig::paper_default(32);
+        let mut low = base.clone();
+        low.device = DeviceParams::with_r_min(10e3);
+        assert!(mvm_energy(32, 32, &low).array_j > mvm_energy(32, 32, &base).array_j * 1.5);
+    }
+
+    #[test]
+    fn adc_energy_counts_tile_stacking() {
+        let cfg16 = CrossbarConfig::paper_default(16);
+        let cfg64 = CrossbarConfig::paper_default(64);
+        // 128 inputs: 8 stacked tiles at K=16, 2 at K=64 → 4× conversions
+        let e16 = mvm_energy(32, 128, &cfg16).adc_j;
+        let e64 = mvm_energy(32, 128, &cfg64).adc_j;
+        assert!((e16 / e64 - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn area_counts_differential_pairs() {
+        let w = ahw_tensor::rng::uniform(&[8, 8], -1.0, 1.0, &mut ahw_tensor::rng::seeded(1));
+        let tiled = TiledMatrix::program(
+            &w,
+            &CrossbarConfig::paper_default(16),
+            &mut ahw_tensor::rng::seeded(2),
+        )
+        .unwrap();
+        let expect = 2.0 * 64.0 * CELL_AREA_M2;
+        assert!((array_area(&tiled) - expect).abs() < expect * 1e-6);
+    }
+
+    #[test]
+    fn energy_magnitudes_are_plausible() {
+        // a 64x64 MVM should land in the nJ-and-below regime
+        let e = mvm_energy(64, 64, &CrossbarConfig::paper_default(64));
+        assert!(e.total_j() < 1e-6, "total {} J", e.total_j());
+        assert!(e.total_j() > 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Error type for crossbar configuration and mapping.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrossbarError {
+    /// Device or circuit parameters out of their physical domain.
+    BadParams(String),
+    /// A tensor-level failure during mapping.
+    Tensor(ahw_tensor::TensorError),
+    /// The mesh solver failed to converge.
+    SolverDiverged {
+        /// Residual after the final iteration.
+        residual: f32,
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::BadParams(msg) => write!(f, "bad crossbar parameters: {msg}"),
+            CrossbarError::Tensor(e) => write!(f, "tensor error during mapping: {e}"),
+            CrossbarError::SolverDiverged {
+                residual,
+                iterations,
+            } => write!(
+                f,
+                "mesh solver diverged: residual {residual:.3e} after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrossbarError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ahw_tensor::TensorError> for CrossbarError {
+    fn from(e: ahw_tensor::TensorError) -> Self {
+        CrossbarError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: CrossbarError = ahw_tensor::TensorError::InvalidArgument("x".into()).into();
+        assert!(e.source().is_some());
+        let e = CrossbarError::SolverDiverged {
+            residual: 1.0,
+            iterations: 10,
+        };
+        assert!(e.to_string().contains("10 iterations"));
+    }
+}

@@ -1,0 +1,429 @@
+//! Resistive-mesh solvers: from programmed conductances to the effective
+//! `G_nonideal` of Fig. 3(b).
+//!
+//! Topology (one tile, `rows` inputs × `cols` outputs):
+//!
+//! ```text
+//! V_i ─[Rdriver]─ a_i0 ─[Rwire_row]─ a_i1 ─ … ─ a_i,cols-1      (row wires)
+//!                  │G_i0              │G_i1
+//!                 b_00 ─[Rwire_col]─ b_10 ─ … ─ b_rows-1,0      (column wires)
+//!                                                │
+//!                                         [Rwire_col + Rsense]
+//!                                                ⏚  (virtual ground)
+//! ```
+//!
+//! Every cell couples its row node `a_ij` to its column node `b_ij` through
+//! the programmed conductance `G_ij`. The *effective* conductance is
+//! extracted under unit drive on every row (the RxNN-style calibration
+//! condition): `G'_ij = I_ij` with all `V_i = 1`, which bakes both the
+//! series IR drops and the shared-wire loading into a linear operator.
+
+use crate::{CrossbarError, NonIdealities, SolverKind};
+
+/// Floor applied to parasitic resistances so ideal (zero) values stay
+/// numerically regular in the exact solver.
+const R_FLOOR: f64 = 1e-9;
+
+/// Extracts the effective conductance matrix `G'` (row-major
+/// `rows × cols`) from programmed conductances `g` under the given
+/// non-idealities, using the configured solver.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::BadParams`] for shape mismatches and
+/// [`CrossbarError::SolverDiverged`] if the relaxation fails to settle.
+pub fn extract_effective_conductance(
+    g: &[f32],
+    rows: usize,
+    cols: usize,
+    ni: &NonIdealities,
+    solver: SolverKind,
+) -> Result<Vec<f32>, CrossbarError> {
+    if g.len() != rows * cols || rows == 0 || cols == 0 {
+        return Err(CrossbarError::BadParams(format!(
+            "conductance buffer {} does not match {rows}x{cols}",
+            g.len()
+        )));
+    }
+    match solver {
+        SolverKind::Relaxation { sweeps } => relax(g, rows, cols, ni, sweeps.max(1)),
+        SolverKind::Exact => solve_mesh_exact(g, rows, cols, ni),
+    }
+}
+
+/// Solves a symmetric tridiagonal system `T x = rhs` (Thomas algorithm).
+/// `off[k]` couples unknowns `k` and `k+1`; `diag` is consumed.
+fn thomas(diag: &mut [f64], off: &[f64], rhs: &mut [f64]) -> Vec<f64> {
+    let n = diag.len();
+    for k in 1..n {
+        let m = off[k - 1] / diag[k - 1];
+        diag[k] -= m * off[k - 1];
+        rhs[k] -= m * rhs[k - 1];
+    }
+    let mut x = vec![0.0f64; n];
+    x[n - 1] = rhs[n - 1] / diag[n - 1];
+    for k in (0..n - 1).rev() {
+        x[k] = (rhs[k] - off[k] * x[k + 1]) / diag[k];
+    }
+    x
+}
+
+/// Alternating block Gauss–Seidel over the two wire systems: each sweep
+/// solves every row ladder exactly (tridiagonal, with the cell devices as
+/// loads towards the column-node potentials of the previous half-sweep) and
+/// then every column ladder exactly. The only approximation left between
+/// sweeps is the row↔column coupling through the (comparatively tiny)
+/// device conductances, so convergence is fast even at operating points
+/// where the wires drop a large fraction of the supply.
+fn relax(
+    g: &[f32],
+    rows: usize,
+    cols: usize,
+    ni: &NonIdealities,
+    sweeps: usize,
+) -> Result<Vec<f32>, CrossbarError> {
+    let mut v = vec![1.0f64; rows * cols]; // row-node voltages
+    let mut u = vec![0.0f64; rows * cols]; // column-node voltages
+    let g_d = 1.0 / (ni.r_driver as f64).max(R_FLOOR);
+    let g_r = 1.0 / (ni.r_wire_row as f64).max(R_FLOOR);
+    let g_c = 1.0 / (ni.r_wire_col as f64).max(R_FLOOR);
+    let g_s = 1.0 / ((ni.r_wire_col as f64) + (ni.r_sense as f64)).max(R_FLOOR);
+
+    let mut current = vec![0.0f64; rows * cols];
+    let mut residual = f64::INFINITY;
+    let mut diag = vec![0.0f64; rows.max(cols)];
+    let mut rhs = vec![0.0f64; rows.max(cols)];
+    for _ in 0..sweeps {
+        // row ladders: unknown v_ij, loads G_ij towards fixed u_ij
+        let off_row = vec![-g_r; cols.saturating_sub(1)];
+        for i in 0..rows {
+            for j in 0..cols {
+                let gd_cell = g[i * cols + j] as f64;
+                let left = if j == 0 { g_d } else { g_r };
+                let right = if j + 1 < cols { g_r } else { 0.0 };
+                diag[j] = gd_cell + left + right;
+                rhs[j] = gd_cell * u[i * cols + j] + if j == 0 { g_d } else { 0.0 };
+            }
+            let x = thomas(&mut diag[..cols], &off_row, &mut rhs[..cols]);
+            v[i * cols..(i + 1) * cols].copy_from_slice(&x);
+        }
+        // column ladders: unknown u_ij, loads G_ij towards fixed v_ij,
+        // bottom node grounded through Rwire_col + Rsense
+        let off_col = vec![-g_c; rows.saturating_sub(1)];
+        for j in 0..cols {
+            for i in 0..rows {
+                let gd_cell = g[i * cols + j] as f64;
+                let above = if i == 0 { 0.0 } else { g_c };
+                let below = if i + 1 < rows { g_c } else { g_s };
+                diag[i] = gd_cell + above + below;
+                rhs[i] = gd_cell * v[i * cols + j];
+            }
+            let x = thomas(&mut diag[..rows], &off_col, &mut rhs[..rows]);
+            for i in 0..rows {
+                u[i * cols + j] = x[i];
+            }
+        }
+        // cell currents and convergence measure
+        residual = 0.0;
+        for i in 0..rows * cols {
+            let new = g[i] as f64 * (v[i] - u[i]);
+            residual = residual.max((new - current[i]).abs());
+            current[i] = new;
+        }
+        if !residual.is_finite() {
+            break;
+        }
+    }
+    let worst = current.iter().cloned().fold(0.0f64, f64::max).max(1e-30);
+    if !residual.is_finite() || residual > worst * 1e-3 {
+        return Err(CrossbarError::SolverDiverged {
+            residual: residual as f32,
+            iterations: sweeps,
+        });
+    }
+    Ok(current.iter().map(|&c| c as f32).collect())
+}
+
+/// Exact dense nodal analysis of the full `2·rows·cols` resistive mesh
+/// (Gaussian elimination with partial pivoting, `f64`). Cubic cost — use for
+/// arrays up to ~32×32 and for validating the relaxation solver.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::BadParams`] for shape mismatches or an array too
+/// large to factor densely (more than 4096 unknowns).
+pub fn solve_mesh_exact(
+    g: &[f32],
+    rows: usize,
+    cols: usize,
+    ni: &NonIdealities,
+) -> Result<Vec<f32>, CrossbarError> {
+    if g.len() != rows * cols || rows == 0 || cols == 0 {
+        return Err(CrossbarError::BadParams(format!(
+            "conductance buffer {} does not match {rows}x{cols}",
+            g.len()
+        )));
+    }
+    let n = 2 * rows * cols;
+    if n > 4096 {
+        return Err(CrossbarError::BadParams(format!(
+            "{rows}x{cols} mesh has {n} unknowns; exact solver caps at 4096"
+        )));
+    }
+    let a_idx = |i: usize, j: usize| i * cols + j;
+    let b_idx = |i: usize, j: usize| rows * cols + i * cols + j;
+    let g_d = 1.0 / (ni.r_driver as f64).max(R_FLOOR);
+    let g_r = 1.0 / (ni.r_wire_row as f64).max(R_FLOOR);
+    let g_c = 1.0 / (ni.r_wire_col as f64).max(R_FLOOR);
+    let g_s = 1.0 / ((ni.r_wire_col as f64) + (ni.r_sense as f64)).max(R_FLOOR);
+
+    let mut mat = vec![0.0f64; n * n];
+    let mut rhs = vec![0.0f64; n];
+    fn stamp(mat: &mut [f64], n: usize, p: usize, q: usize, cond: f64) {
+        mat[p * n + p] += cond;
+        mat[q * n + q] += cond;
+        mat[p * n + q] -= cond;
+        mat[q * n + p] -= cond;
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            // device
+            stamp(
+                &mut mat,
+                n,
+                a_idx(i, j),
+                b_idx(i, j),
+                g[i * cols + j] as f64,
+            );
+            // row wire to the next node
+            if j + 1 < cols {
+                stamp(&mut mat, n, a_idx(i, j), a_idx(i, j + 1), g_r);
+            }
+            // column wire to the next node
+            if i + 1 < rows {
+                stamp(&mut mat, n, b_idx(i, j), b_idx(i + 1, j), g_c);
+            }
+        }
+        // driver: a_i0 to the unit source through Rdriver
+        let p = a_idx(i, 0);
+        mat[p * n + p] += g_d;
+        rhs[p] += g_d; // V_i = 1
+    }
+    for j in 0..cols {
+        // sense path to ground from the bottom node
+        let p = b_idx(rows - 1, j);
+        mat[p * n + p] += g_s;
+    }
+
+    let x = gaussian_solve(&mut mat, &mut rhs, n)?;
+    let mut out = vec![0.0f32; rows * cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            let va = x[a_idx(i, j)];
+            let vb = x[b_idx(i, j)];
+            out[i * cols + j] = (g[i * cols + j] as f64 * (va - vb)) as f32;
+        }
+    }
+    Ok(out)
+}
+
+/// In-place Gaussian elimination with partial pivoting.
+fn gaussian_solve(mat: &mut [f64], rhs: &mut [f64], n: usize) -> Result<Vec<f64>, CrossbarError> {
+    for k in 0..n {
+        // pivot
+        let mut piv = k;
+        let mut best = mat[k * n + k].abs();
+        for r in (k + 1)..n {
+            let v = mat[r * n + k].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-30 {
+            return Err(CrossbarError::BadParams(
+                "singular mesh matrix (disconnected node?)".into(),
+            ));
+        }
+        if piv != k {
+            for c in 0..n {
+                mat.swap(k * n + c, piv * n + c);
+            }
+            rhs.swap(k, piv);
+        }
+        let pivot = mat[k * n + k];
+        for r in (k + 1)..n {
+            let factor = mat[r * n + k] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            mat[r * n + k] = 0.0;
+            for c in (k + 1)..n {
+                mat[r * n + c] -= factor * mat[k * n + c];
+            }
+            rhs[r] -= factor * rhs[k];
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for k in (0..n).rev() {
+        let mut acc = rhs[k];
+        for c in (k + 1)..n {
+            acc -= mat[k * n + c] * x[c];
+        }
+        x[k] = acc / mat[k * n + k];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceParams;
+
+    fn uniform_g(rows: usize, cols: usize, r_ohm: f32) -> Vec<f32> {
+        vec![1.0 / r_ohm; rows * cols]
+    }
+
+    fn random_g(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        let d = DeviceParams::paper_default();
+        ahw_tensor::rng::uniform(
+            &[rows * cols],
+            d.g_min(),
+            d.g_max(),
+            &mut ahw_tensor::rng::seeded(seed),
+        )
+        .into_vec()
+    }
+
+    #[test]
+    fn ideal_circuit_returns_programmed_conductance() {
+        let g = random_g(4, 4, 1);
+        let ni = NonIdealities::ideal();
+        for solver in [SolverKind::Relaxation { sweeps: 10 }, SolverKind::Exact] {
+            let eff = extract_effective_conductance(&g, 4, 4, &ni, solver).unwrap();
+            for (a, b) in g.iter().zip(&eff) {
+                assert!((a - b).abs() < a * 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_matches_series_formula() {
+        // one cell: I = V / (Rdriver + Rdevice + Rwire_col + Rsense)
+        let ni = NonIdealities {
+            r_driver: 1e3,
+            r_wire_row: 5.0,
+            r_wire_col: 10.0,
+            r_sense: 1e3,
+            variation_sigma: 0.0,
+        };
+        let r_dev = 20e3f32;
+        let g = [1.0 / r_dev];
+        let expect = 1.0 / (1e3 + r_dev + 10.0 + 1e3);
+        for solver in [SolverKind::Relaxation { sweeps: 20 }, SolverKind::Exact] {
+            let eff = extract_effective_conductance(&g, 1, 1, &ni, solver).unwrap();
+            assert!(
+                (eff[0] - expect).abs() < expect * 1e-3,
+                "{} vs {expect}",
+                eff[0]
+            );
+        }
+    }
+
+    #[test]
+    fn relaxation_matches_exact_on_small_arrays() {
+        let ni = NonIdealities::paper_default();
+        for (rows, cols, seed) in [(4, 4, 2), (8, 8, 3), (16, 16, 4)] {
+            let g = random_g(rows, cols, seed);
+            let exact = solve_mesh_exact(&g, rows, cols, &ni).unwrap();
+            let approx =
+                extract_effective_conductance(&g, rows, cols, &ni, SolverKind::default()).unwrap();
+            for (e, a) in exact.iter().zip(&approx) {
+                assert!(
+                    (e - a).abs() <= e.abs() * 0.02 + 1e-9,
+                    "{rows}x{cols}: exact {e} vs approx {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_conductance_never_exceeds_programmed() {
+        let g = random_g(16, 16, 5);
+        let eff = extract_effective_conductance(
+            &g,
+            16,
+            16,
+            &NonIdealities::paper_default(),
+            SolverKind::default(),
+        )
+        .unwrap();
+        for (p, e) in g.iter().zip(&eff) {
+            assert!(*e <= *p, "effective {e} above programmed {p}");
+            assert!(*e > 0.0);
+        }
+    }
+
+    #[test]
+    fn larger_arrays_lose_more() {
+        // the paper's size trend: more cells sharing wires → larger relative
+        // degradation of the effective conductance
+        let ni = NonIdealities::paper_default();
+        let rel_loss = |k: usize| {
+            let g = uniform_g(k, k, 20e3);
+            let eff = extract_effective_conductance(&g, k, k, &ni, SolverKind::default()).unwrap();
+            let mean_eff: f32 = eff.iter().sum::<f32>() / eff.len() as f32;
+            1.0 - mean_eff / g[0]
+        };
+        let l16 = rel_loss(16);
+        let l32 = rel_loss(32);
+        let l64 = rel_loss(64);
+        assert!(l32 > l16, "loss 32 {l32} vs 16 {l16}");
+        assert!(l64 > l32, "loss 64 {l64} vs 32 {l32}");
+    }
+
+    #[test]
+    fn smaller_r_min_loses_more() {
+        // Fig 8(a) trend: lower R_MIN (higher conductances) → stronger IR
+        // drop → more non-ideality
+        let ni = NonIdealities::paper_default();
+        let rel_loss = |r_min: f32| {
+            let g = uniform_g(32, 32, r_min);
+            let eff =
+                extract_effective_conductance(&g, 32, 32, &ni, SolverKind::default()).unwrap();
+            let mean_eff: f32 = eff.iter().sum::<f32>() / eff.len() as f32;
+            1.0 - mean_eff / g[0]
+        };
+        assert!(rel_loss(10e3) > rel_loss(20e3));
+    }
+
+    #[test]
+    fn far_corner_degrades_most() {
+        // cell (0, cols-1): longest row path AND longest column path
+        let ni = NonIdealities::paper_default();
+        let g = uniform_g(16, 16, 20e3);
+        let eff = extract_effective_conductance(&g, 16, 16, &ni, SolverKind::default()).unwrap();
+        let near = eff[(16 - 1) * 16]; // row 15, col 0: short row path, short col path
+        let far = eff[16 - 1]; // row 0, col 15: long row path, long col path
+        assert!(far < near, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let ni = NonIdealities::paper_default();
+        assert!(
+            extract_effective_conductance(&[1.0; 5], 2, 2, &ni, SolverKind::default()).is_err()
+        );
+        assert!(solve_mesh_exact(&[1.0; 4], 0, 4, &ni).is_err());
+    }
+
+    #[test]
+    fn exact_solver_caps_size() {
+        let ni = NonIdealities::paper_default();
+        let g = vec![5e-5f32; 64 * 64];
+        assert!(matches!(
+            solve_mesh_exact(&g, 64, 64, &ni),
+            Err(CrossbarError::BadParams(_))
+        ));
+    }
+}

@@ -1,0 +1,397 @@
+//! Tile-level crossbar machinery: differential conductance programming,
+//! process variation, and tiled matrix-vector multiplication.
+
+use crate::{extract_effective_conductance, CrossbarConfig, CrossbarError};
+use ahw_tensor::{Tensor, TensorError};
+use rand::Rng;
+
+/// One programmed `K×K` (or smaller, at matrix edges) crossbar array pair.
+///
+/// Weights map to a **differential pair** of devices per cell: positive
+/// weights raise `G⁺` above `G_MIN`, negative weights raise `G⁻`, and the
+/// sensed output is `I⁺ − I⁻`. Crossbar rows carry inputs, columns carry
+/// outputs.
+#[derive(Debug, Clone)]
+pub struct CrossbarTile {
+    rows: usize,
+    cols: usize,
+    /// Effective (post-solver) differential conductance, row-major
+    /// `rows × cols`: `G'⁺ − G'⁻`, siemens.
+    g_eff_diff: Vec<f32>,
+    /// Scale converting differential conductance back to weight units.
+    weight_per_siemens: f32,
+}
+
+impl CrossbarTile {
+    /// Programs a weight sub-matrix (`rows` inputs × `cols` outputs, stored
+    /// row-major input-major) onto a tile and solves for its effective
+    /// conductances. `w_max` is the layer-wide programming full-scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::BadParams`] for invalid configs or a
+    /// sub-matrix exceeding the array size.
+    pub fn program<R: Rng>(
+        weights: &[f32],
+        rows: usize,
+        cols: usize,
+        w_max: f32,
+        config: &CrossbarConfig,
+        rng: &mut R,
+    ) -> Result<Self, CrossbarError> {
+        config.validate()?;
+        if rows == 0 || cols == 0 || rows > config.size || cols > config.size {
+            return Err(CrossbarError::BadParams(format!(
+                "tile {rows}x{cols} does not fit a {0}x{0} array",
+                config.size
+            )));
+        }
+        if weights.len() != rows * cols {
+            return Err(CrossbarError::BadParams(format!(
+                "weight buffer {} does not match {rows}x{cols}",
+                weights.len()
+            )));
+        }
+        let (g_min, g_max) = (config.device.g_min(), config.device.g_max());
+        let span = g_max - g_min;
+        let w_max = if w_max > 0.0 { w_max } else { 1.0 };
+        let sigma = config.nonideal.variation_sigma;
+        let vary = |g: f32, rng: &mut R| -> f32 {
+            if sigma == 0.0 {
+                g
+            } else {
+                // Box–Muller normal draw; conductance floors at a tenth of
+                // G_MIN so a deep negative tail cannot flip the device sign.
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0f32..1.0);
+                let n = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+                (g * (1.0 + sigma * n)).max(g_min * 0.1)
+            }
+        };
+        let mut g_pos = vec![0.0f32; rows * cols];
+        let mut g_neg = vec![0.0f32; rows * cols];
+        for idx in 0..rows * cols {
+            let w = weights[idx].clamp(-w_max, w_max);
+            let frac = w.abs() / w_max;
+            let (p, n) = if w >= 0.0 {
+                (g_min + frac * span, g_min)
+            } else {
+                (g_min, g_min + frac * span)
+            };
+            g_pos[idx] = vary(p, rng);
+            g_neg[idx] = vary(n, rng);
+        }
+        let eff_pos =
+            extract_effective_conductance(&g_pos, rows, cols, &config.nonideal, config.solver)?;
+        let eff_neg =
+            extract_effective_conductance(&g_neg, rows, cols, &config.nonideal, config.solver)?;
+        let g_eff_diff = eff_pos.iter().zip(&eff_neg).map(|(p, n)| p - n).collect();
+        Ok(CrossbarTile {
+            rows,
+            cols,
+            g_eff_diff,
+            weight_per_siemens: w_max / span,
+        })
+    }
+
+    /// Tile input count (crossbar rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile output count (crossbar columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The effective weight sub-matrix this tile realizes (`rows × cols`,
+    /// input-major) — the differential effective conductances converted back
+    /// to weight units.
+    pub fn effective_weights(&self) -> Vec<f32> {
+        self.g_eff_diff
+            .iter()
+            .map(|&g| g * self.weight_per_siemens)
+            .collect()
+    }
+
+    /// Analog MVM: sensed differential column outputs for the given row
+    /// voltages, already rescaled to weight·input units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::BadParams`] if `v.len() != rows`.
+    pub fn mvm(&self, v: &[f32]) -> Result<Vec<f32>, CrossbarError> {
+        if v.len() != self.rows {
+            return Err(CrossbarError::BadParams(format!(
+                "input length {} does not match {} rows",
+                v.len(),
+                self.rows
+            )));
+        }
+        let mut out = vec![0.0f32; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = &self.g_eff_diff[i * self.cols..(i + 1) * self.cols];
+            for (o, &gd) in out.iter_mut().zip(row) {
+                *o += gd * vi;
+            }
+        }
+        for o in &mut out {
+            *o *= self.weight_per_siemens;
+        }
+        Ok(out)
+    }
+}
+
+/// A full weight matrix mapped onto a grid of [`CrossbarTile`]s.
+///
+/// The logical weight is `W (out, in)`; crossbar rows take inputs, so tile
+/// `(bi, bj)` holds the transposed block
+/// `W[bj·K .. , bi·K ..]ᵀ`.
+#[derive(Debug, Clone)]
+pub struct TiledMatrix {
+    out_features: usize,
+    in_features: usize,
+    tile_size: usize,
+    /// Tiles in (input-block-major) order: `tiles[bi][bj]`.
+    tiles: Vec<Vec<CrossbarTile>>,
+}
+
+impl TiledMatrix {
+    /// Maps a `(out, in)` weight matrix onto tiles of `config.size`.
+    ///
+    /// `rng` supplies the process-variation draw (one chip instance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError`] for invalid configs or a non-matrix tensor.
+    pub fn program<R: Rng>(
+        weight: &Tensor,
+        config: &CrossbarConfig,
+        rng: &mut R,
+    ) -> Result<Self, CrossbarError> {
+        if weight.rank() != 2 {
+            return Err(CrossbarError::Tensor(TensorError::RankMismatch {
+                op: "crossbar_program",
+                expected: 2,
+                actual: weight.rank(),
+            }));
+        }
+        config.validate()?;
+        let (out_f, in_f) = (weight.dims()[0], weight.dims()[1]);
+        let k = config.size;
+        let w_max = weight
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        let wv = weight.as_slice();
+        let mut tiles = Vec::new();
+        for bi in (0..in_f).step_by(k) {
+            let rows = k.min(in_f - bi);
+            let mut row_tiles = Vec::new();
+            for bj in (0..out_f).step_by(k) {
+                let cols = k.min(out_f - bj);
+                // gather transposed block: tile[i][j] = W[bj + j][bi + i]
+                let mut block = vec![0.0f32; rows * cols];
+                for i in 0..rows {
+                    for j in 0..cols {
+                        block[i * cols + j] = wv[(bj + j) * in_f + (bi + i)];
+                    }
+                }
+                row_tiles.push(CrossbarTile::program(
+                    &block, rows, cols, w_max, config, rng,
+                )?);
+            }
+            tiles.push(row_tiles);
+        }
+        Ok(TiledMatrix {
+            out_features: out_f,
+            in_features: in_f,
+            tile_size: k,
+            tiles,
+        })
+    }
+
+    /// Number of tiles used.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.iter().map(Vec::len).sum()
+    }
+
+    /// Logical output dimension.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Logical input dimension.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Reassembles the effective `(out, in)` weight matrix realized by the
+    /// tiles — the `W_eff` the rest of the workspace computes with.
+    pub fn effective_weight(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.out_features * self.in_features];
+        let k = self.tile_size;
+        for (ti, row_tiles) in self.tiles.iter().enumerate() {
+            let bi = ti * k;
+            for (tj, tile) in row_tiles.iter().enumerate() {
+                let bj = tj * k;
+                let eff = tile.effective_weights();
+                for i in 0..tile.rows() {
+                    for j in 0..tile.cols() {
+                        out[(bj + j) * self.in_features + (bi + i)] = eff[i * tile.cols() + j];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.out_features, self.in_features]).expect("dimensions preserved")
+    }
+
+    /// Analog MVM across all tiles: `y = W_eff · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::BadParams`] if `x.len() != in_features`.
+    pub fn mvm(&self, x: &[f32]) -> Result<Vec<f32>, CrossbarError> {
+        if x.len() != self.in_features {
+            return Err(CrossbarError::BadParams(format!(
+                "input length {} does not match {}",
+                x.len(),
+                self.in_features
+            )));
+        }
+        let k = self.tile_size;
+        let mut y = vec![0.0f32; self.out_features];
+        for (ti, row_tiles) in self.tiles.iter().enumerate() {
+            let bi = ti * k;
+            for (tj, tile) in row_tiles.iter().enumerate() {
+                let bj = tj * k;
+                let part = tile.mvm(&x[bi..bi + tile.rows()])?;
+                for (j, p) in part.iter().enumerate() {
+                    y[bj + j] += p;
+                }
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahw_tensor::rng::{seeded, uniform};
+
+    #[test]
+    fn ideal_tile_recovers_weights() {
+        let cfg = CrossbarConfig::ideal(16);
+        let w = uniform(&[8 * 8], -2.0, 2.0, &mut seeded(1)).into_vec();
+        let tile = CrossbarTile::program(&w, 8, 8, 2.0, &cfg, &mut seeded(2)).unwrap();
+        for (a, b) in w.iter().zip(tile.effective_weights()) {
+            assert!((a - b).abs() < 2.0 * 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tile_mvm_matches_effective_weights() {
+        let cfg = CrossbarConfig::paper_default(16);
+        let w = uniform(&[12 * 9], -1.0, 1.0, &mut seeded(3)).into_vec();
+        let tile = CrossbarTile::program(&w, 12, 9, 1.0, &cfg, &mut seeded(4)).unwrap();
+        let v = uniform(&[12], 0.0, 1.0, &mut seeded(5)).into_vec();
+        let y = tile.mvm(&v).unwrap();
+        let eff = tile.effective_weights();
+        for j in 0..9 {
+            let expect: f32 = (0..12).map(|i| eff[i * 9 + j] * v[i]).sum();
+            assert!((y[j] - expect).abs() < 1e-5, "{} vs {expect}", y[j]);
+        }
+    }
+
+    #[test]
+    fn tile_rejects_oversize() {
+        let cfg = CrossbarConfig::paper_default(8);
+        let w = vec![0.0f32; 9 * 8];
+        assert!(CrossbarTile::program(&w, 9, 8, 1.0, &cfg, &mut seeded(6)).is_err());
+    }
+
+    #[test]
+    fn nonideal_tile_attenuates() {
+        // realistic differential weights: attenuation is clear but moderate
+        let mut cfg = CrossbarConfig::paper_default(32);
+        cfg.nonideal.variation_sigma = 0.0; // isolate resistive effects
+        let w = uniform(&[32 * 32], -1.0, 1.0, &mut seeded(70)).into_vec();
+        let tile = CrossbarTile::program(&w, 32, 32, 1.0, &cfg, &mut seeded(7)).unwrap();
+        let eff = tile.effective_weights();
+        let dot: f32 = w.iter().zip(&eff).map(|(a, b)| a * b).sum();
+        let ww: f32 = w.iter().map(|a| a * a).sum();
+        let gain = dot / ww; // least-squares scale of eff onto w
+        assert!(gain < 0.999, "gain {gain} not attenuated");
+        assert!(gain > 0.3, "gain {gain} implausibly degraded");
+    }
+
+    #[test]
+    fn worst_case_all_on_tile_collapses() {
+        // every device at G_MAX with unit drive is the pathological IR-drop
+        // corner: the array output collapses far below ideal but stays
+        // positive and finite
+        let mut cfg = CrossbarConfig::paper_default(32);
+        cfg.nonideal.variation_sigma = 0.0;
+        let w = vec![1.0f32; 32 * 32];
+        let tile = CrossbarTile::program(&w, 32, 32, 1.0, &cfg, &mut seeded(7)).unwrap();
+        let eff = tile.effective_weights();
+        let mean: f32 = eff.iter().sum::<f32>() / eff.len() as f32;
+        assert!(mean > 0.01 && mean < 0.6, "mean effective {mean}");
+    }
+
+    #[test]
+    fn variation_is_seeded() {
+        let cfg = CrossbarConfig::paper_default(16);
+        let w = uniform(&[16 * 16], -1.0, 1.0, &mut seeded(8)).into_vec();
+        let a = CrossbarTile::program(&w, 16, 16, 1.0, &cfg, &mut seeded(9)).unwrap();
+        let b = CrossbarTile::program(&w, 16, 16, 1.0, &cfg, &mut seeded(9)).unwrap();
+        let c = CrossbarTile::program(&w, 16, 16, 1.0, &cfg, &mut seeded(10)).unwrap();
+        assert_eq!(a.effective_weights(), b.effective_weights());
+        assert_ne!(a.effective_weights(), c.effective_weights());
+    }
+
+    #[test]
+    fn tiled_matrix_covers_ragged_edges() {
+        let cfg = CrossbarConfig::paper_default(16);
+        let w = uniform(&[20, 37], -1.0, 1.0, &mut seeded(11));
+        let tiled = TiledMatrix::program(&w, &cfg, &mut seeded(12)).unwrap();
+        // ceil(37/16)=3 input blocks × ceil(20/16)=2 output blocks
+        assert_eq!(tiled.tile_count(), 6);
+        let eff = tiled.effective_weight();
+        assert_eq!(eff.dims(), &[20, 37]);
+        // every logical weight has been programmed (non-zero where w sizable)
+        for (a, b) in w.as_slice().iter().zip(eff.as_slice()) {
+            if a.abs() > 0.5 {
+                assert!(b.abs() > 0.05, "weight {a} mapped to {b}");
+                assert_eq!(a.signum(), b.signum());
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_mvm_matches_effective_matmul() {
+        let cfg = CrossbarConfig::paper_default(16);
+        let w = uniform(&[10, 24], -1.0, 1.0, &mut seeded(13));
+        let tiled = TiledMatrix::program(&w, &cfg, &mut seeded(14)).unwrap();
+        let x = uniform(&[24], 0.0, 1.0, &mut seeded(15)).into_vec();
+        let y = tiled.mvm(&x).unwrap();
+        let eff = tiled.effective_weight();
+        for (o, &yo) in y.iter().enumerate() {
+            let expect: f32 = (0..24).map(|i| eff.as_slice()[o * 24 + i] * x[i]).sum();
+            assert!((yo - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_weight_matrix_is_stable() {
+        let cfg = CrossbarConfig::paper_default(8);
+        let w = Tensor::zeros(&[4, 4]);
+        let tiled = TiledMatrix::program(&w, &cfg, &mut seeded(16)).unwrap();
+        // differential pairs cancel up to variation noise
+        assert!(tiled.effective_weight().norm() < 0.5);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based validation of the crossbar solvers and calibration modes.
+
+use ahw_crossbar::{
+    extract_effective_conductance, map_matrix, solve_mesh_exact, Calibration, CrossbarConfig,
+    DeviceParams, NonIdealities, SolverKind,
+};
+use ahw_tensor::rng;
+use proptest::prelude::*;
+
+fn arbitrary_nonideal() -> impl Strategy<Value = NonIdealities> {
+    (0.0f32..2e3, 0.0f32..20.0, 0.0f32..20.0, 0.0f32..2e3).prop_map(
+        |(r_driver, r_wire_row, r_wire_col, r_sense)| NonIdealities {
+            r_driver,
+            r_wire_row,
+            r_wire_col,
+            r_sense,
+            variation_sigma: 0.0,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The relaxation solver tracks the exact nodal solution within 3 % for
+    /// arbitrary circuit parameters on small arrays.
+    #[test]
+    fn relaxation_tracks_exact(ni in arbitrary_nonideal(), seed in 0u64..500) {
+        let d = DeviceParams::paper_default();
+        let g = rng::uniform(&[8 * 8], d.g_min(), d.g_max(), &mut rng::seeded(seed)).into_vec();
+        let exact = solve_mesh_exact(&g, 8, 8, &ni).unwrap();
+        let approx = extract_effective_conductance(
+            &g, 8, 8, &ni, SolverKind::Relaxation { sweeps: 25 },
+        ).unwrap();
+        for (e, a) in exact.iter().zip(&approx) {
+            prop_assert!(
+                (e - a).abs() <= e.abs() * 0.03 + 1e-9,
+                "exact {} vs approx {}", e, a
+            );
+        }
+    }
+
+    /// Effective conductance is monotone in the parasitics: more wire
+    /// resistance never increases any cell's effective conductance.
+    #[test]
+    fn more_parasitics_less_conductance(seed in 0u64..500, factor in 1.5f32..4.0) {
+        let d = DeviceParams::paper_default();
+        let g = rng::uniform(&[12 * 12], d.g_min(), d.g_max(), &mut rng::seeded(seed)).into_vec();
+        let base = NonIdealities::paper_default();
+        let worse = NonIdealities {
+            r_driver: base.r_driver * factor,
+            r_wire_row: base.r_wire_row * factor,
+            r_wire_col: base.r_wire_col * factor,
+            r_sense: base.r_sense * factor,
+            variation_sigma: 0.0,
+        };
+        let eff_base = extract_effective_conductance(&g, 12, 12, &base, SolverKind::default()).unwrap();
+        let eff_worse = extract_effective_conductance(&g, 12, 12, &worse, SolverKind::default()).unwrap();
+        let sum_base: f32 = eff_base.iter().sum();
+        let sum_worse: f32 = eff_worse.iter().sum();
+        prop_assert!(sum_worse < sum_base);
+    }
+
+    /// Calibration ordering: the residual ‖W_eff − W‖ shrinks (weakly) from
+    /// no calibration → per-layer → per-column.
+    #[test]
+    fn calibration_reduces_residual(seed in 0u64..200) {
+        let w = rng::uniform(&[12, 20], -1.0, 1.0, &mut rng::seeded(seed));
+        let residual = |calibration: Calibration| {
+            let mut cfg = CrossbarConfig::paper_default(16);
+            cfg.calibration = calibration;
+            cfg.nonideal.variation_sigma = 0.0;
+            let eff = map_matrix(&w, &cfg).unwrap();
+            eff.sub(&w).unwrap().norm()
+        };
+        let none = residual(Calibration::None);
+        let layer = residual(Calibration::PerLayer);
+        let column = residual(Calibration::PerColumn);
+        prop_assert!(layer <= none + 1e-5, "per-layer {layer} vs none {none}");
+        prop_assert!(column <= layer + 1e-5, "per-column {column} vs per-layer {layer}");
+    }
+
+    /// The extracted operator is genuinely linear: the tile MVM of a sum is
+    /// the sum of MVMs.
+    #[test]
+    fn tiled_mvm_is_linear(seed in 0u64..200) {
+        use ahw_crossbar::TiledMatrix;
+        let w = rng::uniform(&[6, 10], -1.0, 1.0, &mut rng::seeded(seed));
+        let cfg = CrossbarConfig::paper_default(8);
+        let tiled = TiledMatrix::program(&w, &cfg, &mut rng::seeded(seed + 1)).unwrap();
+        let x = rng::uniform(&[10], 0.0, 1.0, &mut rng::seeded(seed + 2)).into_vec();
+        let y = rng::uniform(&[10], 0.0, 1.0, &mut rng::seeded(seed + 3)).into_vec();
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let mvm_sum = tiled.mvm(&sum).unwrap();
+        let mvm_x = tiled.mvm(&x).unwrap();
+        let mvm_y = tiled.mvm(&y).unwrap();
+        for i in 0..6 {
+            prop_assert!((mvm_sum[i] - mvm_x[i] - mvm_y[i]).abs() < 1e-4);
+        }
+    }
+}

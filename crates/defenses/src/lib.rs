@@ -1,0 +1,26 @@
+//! # ahw-defenses
+//!
+//! The two efficiency-driven *software* defenses the paper compares its
+//! hardware-noise robustness against (Fig. 8(b)–(c)):
+//!
+//! * [`PixelDiscretization`] — Panda et al. \[6\]: restrict input pixels from
+//!   8-bit to a coarser grid (4-bit, 2-bit) before inference, destroying the
+//!   fine-grained perturbations FGSM/PGD rely on;
+//! * [`Quanos`] — Panda \[8\]: a layer-wise hybrid quantization driven by the
+//!   *Adversarial Noise Sensitivity* (ANS) of each layer — layers where
+//!   adversarial inputs perturb activations the most get the fewest bits.
+//!
+//! Both defenses are built from the same quantization primitives as the
+//! hardware substrates, so the comparison in `ahw-bench` is apples-to-apples.
+//!
+//! [`adversarial_fit`] additionally provides classic FGSM adversarial
+//! training — the algorithmic gold standard the paper's introduction cites —
+//! as a further reference point.
+
+mod advtrain;
+mod discretize;
+mod quanos;
+
+pub use advtrain::{adversarial_fit, AdvTrainConfig};
+pub use discretize::{DiscretizeLayer, PixelDiscretization};
+pub use quanos::{LayerSensitivity, Quanos, QuantizeHook};

@@ -1,0 +1,324 @@
+use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::layers::{BatchNorm2d, Conv2d, ReLU};
+use crate::{NnError, Param};
+use ahw_tensor::Tensor;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A ResNet basic block:
+/// `y = relu( bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x) )`.
+///
+/// The shortcut is the identity when shape is preserved, otherwise a
+/// 1×1 strided convolution + batch-norm (the standard "option B" downsample).
+///
+/// Hook slots map to the paper's Table II sites:
+/// [`HookSlot::BlockConv1`] after the first intra-block activation,
+/// [`HookSlot::Output`] after the block's final activation, and
+/// [`HookSlot::BlockShortcut`] on the shortcut branch (`S` columns).
+#[derive(Clone)]
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: ReLU,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    hook_conv1: Option<Arc<dyn ActivationHook>>,
+    hook_shortcut: Option<Arc<dyn ActivationHook>>,
+    hook_out: Option<Arc<dyn ActivationHook>>,
+    /// relu mask of the final activation + whether shortcut was identity
+    cache: Option<Vec<bool>>,
+    in_channels: usize,
+    out_channels: usize,
+    stride: usize,
+}
+
+impl std::fmt::Debug for BasicBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BasicBlock")
+            .field("in_channels", &self.in_channels)
+            .field("out_channels", &self.out_channels)
+            .field("stride", &self.stride)
+            .field("downsample", &self.shortcut.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BasicBlock {
+    /// Creates a basic block. A projection shortcut is inserted when
+    /// `stride != 1` or the channel count changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for zero channels or stride.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Result<Self, NnError> {
+        let conv1 = Conv2d::new(in_channels, out_channels, 3, stride, 1, rng)?;
+        let conv2 = Conv2d::new(out_channels, out_channels, 3, 1, 1, rng)?;
+        let shortcut = if stride != 1 || in_channels != out_channels {
+            Some((
+                Conv2d::new(in_channels, out_channels, 1, stride, 0, rng)?,
+                BatchNorm2d::new(out_channels),
+            ))
+        } else {
+            None
+        };
+        Ok(BasicBlock {
+            conv1,
+            bn1: BatchNorm2d::new(out_channels),
+            relu1: ReLU::new(),
+            conv2,
+            bn2: BatchNorm2d::new(out_channels),
+            shortcut,
+            hook_conv1: None,
+            hook_shortcut: None,
+            hook_out: None,
+            cache: None,
+            in_channels,
+            out_channels,
+            stride,
+        })
+    }
+
+    /// Whether the block uses a projection (1×1 conv) shortcut.
+    pub fn has_projection(&self) -> bool {
+        self.shortcut.is_some()
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        let h = self.conv1.forward(x, mode)?;
+        let h = self.bn1.forward(&h, mode)?;
+        let h = self.relu1.forward(&h, mode)?;
+        let h = apply_hook(&self.hook_conv1, h);
+        let a = self.conv2.forward(&h, mode)?;
+        let a = self.bn2.forward(&a, mode)?;
+        let s = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, mode)?;
+                bn.forward(&s, mode)?
+            }
+            None => x.clone(),
+        };
+        let s = apply_hook(&self.hook_shortcut, s);
+        let pre = a.add(&s)?;
+        self.cache = Some(pre.as_slice().iter().map(|&v| v > 0.0).collect());
+        let y = pre.map(|v| v.max(0.0));
+        Ok(apply_hook(&self.hook_out, y))
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        let h = self.conv1.forward_infer(x)?;
+        let h = self.bn1.forward_infer(&h)?;
+        let h = self.relu1.forward_infer(&h)?;
+        let h = apply_hook(&self.hook_conv1, h);
+        let a = self.conv2.forward_infer(&h)?;
+        let a = self.bn2.forward_infer(&a)?;
+        let s = match &self.shortcut {
+            Some((conv, bn)) => bn.forward_infer(&conv.forward_infer(x)?)?,
+            None => x.clone(),
+        };
+        let s = apply_hook(&self.hook_shortcut, s);
+        let y = a.add(&s)?.map(|v| v.max(0.0));
+        Ok(apply_hook(&self.hook_out, y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        debug_assert_eq!(mask.len(), grad_out.len());
+        let dpre = Tensor::from_vec(
+            grad_out
+                .as_slice()
+                .iter()
+                .zip(&mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+            grad_out.dims(),
+        )?;
+        // main branch
+        let da = self.bn2.backward(&dpre)?;
+        let dh = self.conv2.backward(&da)?;
+        let dh = self.relu1.backward(&dh)?;
+        let dh = self.bn1.backward(&dh)?;
+        let dx_main = self.conv1.backward(&dh)?;
+        // shortcut branch
+        let dx_short = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let ds = bn.backward(&dpre)?;
+                conv.backward(&ds)?
+            }
+            None => dpre,
+        };
+        Ok(dx_main.add(&dx_short)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.conv1.visit_state(&format!("{prefix}.conv1"), f);
+        self.bn1.visit_state(&format!("{prefix}.bn1"), f);
+        self.conv2.visit_state(&format!("{prefix}.conv2"), f);
+        self.bn2.visit_state(&format!("{prefix}.bn2"), f);
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.visit_state(&format!("{prefix}.shortcut.conv"), f);
+            bn.visit_state(&format!("{prefix}.shortcut.bn"), f);
+        }
+    }
+
+    fn set_hook(
+        &mut self,
+        slot: HookSlot,
+        hook: Option<Arc<dyn ActivationHook>>,
+    ) -> Result<(), NnError> {
+        match slot {
+            HookSlot::BlockConv1 => self.hook_conv1 = hook,
+            HookSlot::BlockShortcut => self.hook_shortcut = hook,
+            HookSlot::Output | HookSlot::BlockConv2 => self.hook_out = hook,
+        }
+        Ok(())
+    }
+
+    fn set_param_grads(&mut self, enabled: bool) {
+        self.conv1.set_param_grads(enabled);
+        self.conv2.set_param_grads(enabled);
+        if let Some((conv, _)) = &mut self.shortcut {
+            conv.set_param_grads(enabled);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "basic_block({}->{}, s{}{})",
+            self.in_channels,
+            self.out_channels,
+            self.stride,
+            if self.shortcut.is_some() {
+                ", proj"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahw_tensor::rng::{normal, seeded};
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut rng = seeded(1);
+        let mut block = BasicBlock::new(4, 4, 1, &mut rng).unwrap();
+        assert!(!block.has_projection());
+        let x = normal(&[2, 4, 8, 8], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), x.dims());
+    }
+
+    #[test]
+    fn downsample_block_halves_spatial() {
+        let mut rng = seeded(2);
+        let mut block = BasicBlock::new(4, 8, 2, &mut rng).unwrap();
+        assert!(block.has_projection());
+        let x = normal(&[1, 4, 8, 8], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded(3);
+        let mut block = BasicBlock::new(2, 2, 1, &mut rng).unwrap();
+        let x = normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let dy = normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        // eval mode so batch-norm is a fixed affine map
+        block.forward(&x, Mode::Eval).unwrap();
+        let dx = block.backward(&dy).unwrap();
+        let eps = 1e-2;
+        for idx in [0, 9, 17, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp: f32 = block
+                .forward_infer(&xp)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = block
+                .forward_infer(&xm)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[idx]).abs() < 3e-2,
+                "idx {idx}: {fd} vs {}",
+                dx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn all_three_hook_slots_accepted() {
+        struct Zero;
+        impl ActivationHook for Zero {
+            fn apply(&self, x: &Tensor) -> Tensor {
+                Tensor::zeros(x.dims())
+            }
+        }
+        let mut rng = seeded(4);
+        let mut block = BasicBlock::new(2, 2, 1, &mut rng).unwrap();
+        for slot in [
+            HookSlot::BlockConv1,
+            HookSlot::BlockShortcut,
+            HookSlot::Output,
+        ] {
+            block.set_hook(slot, Some(Arc::new(Zero))).unwrap();
+        }
+        // output hook zeroes everything
+        let x = normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let y = block.forward_infer(&x).unwrap();
+        assert_eq!(y.sum(), 0.0);
+    }
+
+    #[test]
+    fn param_count_identity_vs_projection() {
+        let mut rng = seeded(5);
+        let mut ident = BasicBlock::new(4, 4, 1, &mut rng).unwrap();
+        let mut proj = BasicBlock::new(4, 8, 2, &mut rng).unwrap();
+        let count = |b: &mut BasicBlock| {
+            let mut n = 0;
+            b.visit_params(&mut |p| n += p.len());
+            n
+        };
+        assert!(count(&mut proj) > count(&mut ident));
+    }
+}

@@ -1,0 +1,69 @@
+use ahw_tensor::TensorError;
+use std::fmt;
+
+/// Error type for model construction, training and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor-level operation failed (shape mismatch, bad index, I/O…).
+    Tensor(TensorError),
+    /// `backward` was called without a preceding cached `forward`.
+    NoForwardCache {
+        /// The layer that was asked to run backward.
+        layer: String,
+    },
+    /// A hook slot does not exist on the targeted layer.
+    InvalidSite(String),
+    /// Model construction was given inconsistent arguments.
+    BadConfig(String),
+    /// A checkpoint did not match the model it was loaded into.
+    CheckpointMismatch(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::InvalidSite(msg) => write!(f, "invalid hook site: {msg}"),
+            NnError::BadConfig(msg) => write!(f, "bad model configuration: {msg}"),
+            NnError::CheckpointMismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        use std::error::Error;
+        let e: NnError = TensorError::InvalidArgument("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,163 @@
+use crate::{NnError, Param};
+use ahw_tensor::Tensor;
+use std::sync::Arc;
+
+/// Whether a forward pass uses batch statistics (`Train`) or running
+/// statistics (`Eval`). Only batch normalization distinguishes the two;
+/// adversarial-attack gradients are taken in `Eval` mode, matching how the
+/// deployed (hardware) network behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Batch statistics; running stats are updated.
+    Train,
+    /// Running statistics; nothing is updated.
+    #[default]
+    Eval,
+}
+
+/// An inference-time transform applied to a layer's output activations.
+///
+/// This is the seam where hardware noise enters a network: the hybrid 8T-6T
+/// SRAM substrate implements `ActivationHook` with stochastic bit-error
+/// injection, and the defense baselines implement it with deterministic
+/// quantization. Hooks are applied during *forward* passes only; `backward`
+/// treats them as identity (straight-through), matching the paper's protocol
+/// of excluding bit-error noise from the attacker's gradient computation.
+pub trait ActivationHook: Send + Sync {
+    /// Transforms an activation tensor.
+    fn apply(&self, x: &Tensor) -> Tensor;
+    /// Human-readable description for experiment logs.
+    fn describe(&self) -> String {
+        "hook".to_string()
+    }
+}
+
+/// A hook slot within a layer. Plain layers only expose [`HookSlot::Output`];
+/// residual blocks additionally expose their two internal convolution outputs
+/// and the shortcut path (the `S` sites of the paper's Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HookSlot {
+    /// The layer's (or block's) final output.
+    Output,
+    /// After the first convolution + activation inside a residual block.
+    BlockConv1,
+    /// After the second convolution (pre-add) inside a residual block.
+    BlockConv2,
+    /// After the shortcut branch inside a residual block.
+    BlockShortcut,
+}
+
+/// A differentiable network component.
+///
+/// Layers own their parameters and a forward cache; `forward` stores whatever
+/// `backward` needs, and `backward` both accumulates parameter gradients and
+/// returns the gradient with respect to its input. `forward_infer` is the
+/// shared-reference, cache-free path used for (parallel) evaluation.
+pub trait Layer: Send + Sync {
+    /// Forward pass that caches intermediates for a following [`backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if the input shape is incompatible.
+    ///
+    /// [`backward`]: Layer::backward
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, NnError>;
+
+    /// Cache-free, eval-mode forward usable from multiple threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if the input shape is incompatible.
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Backward pass: consumes the cache from the last [`forward`],
+    /// accumulates parameter gradients and returns `dL/dinput`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if no forward pass preceded.
+    ///
+    /// [`forward`]: Layer::forward
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Visits every trainable parameter.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visits every persistent tensor (parameters *and* buffers such as
+    /// batch-norm running statistics) with a name under `prefix`, for
+    /// checkpointing.
+    fn visit_state(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Tensor)) {}
+
+    /// Installs (or clears) an activation hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSite`] if the layer does not have `slot`.
+    fn set_hook(
+        &mut self,
+        slot: HookSlot,
+        hook: Option<Arc<dyn ActivationHook>>,
+    ) -> Result<(), NnError> {
+        let _ = hook;
+        Err(NnError::InvalidSite(format!(
+            "{} has no hook slot {slot:?}",
+            self.describe()
+        )))
+    }
+
+    /// Enables or disables accumulation of parameter gradients in
+    /// `backward`. Input gradients are always produced; attack loops disable
+    /// parameter gradients since they only need `dL/dx`. Default: no-op for
+    /// parameter-free layers.
+    fn set_param_grads(&mut self, _enabled: bool) {}
+
+    /// Clones the layer into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Short human-readable description (e.g. `conv2d(16->32,k3,s1,p1)`).
+    fn describe(&self) -> String;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Applies an optional hook to an owned activation tensor.
+pub(crate) fn apply_hook(hook: &Option<Arc<dyn ActivationHook>>, x: Tensor) -> Tensor {
+    match hook {
+        Some(h) => h.apply(&x),
+        None => x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl ActivationHook for Doubler {
+        fn apply(&self, x: &Tensor) -> Tensor {
+            x.scale(2.0)
+        }
+    }
+
+    #[test]
+    fn apply_hook_identity_when_none() {
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(apply_hook(&None, x.clone()), x);
+    }
+
+    #[test]
+    fn apply_hook_invokes_transform() {
+        let hook: Arc<dyn ActivationHook> = Arc::new(Doubler);
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(apply_hook(&Some(hook), x).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn default_mode_is_eval() {
+        assert_eq!(Mode::default(), Mode::Eval);
+    }
+}

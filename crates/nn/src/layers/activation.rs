@@ -1,0 +1,117 @@
+use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::NnError;
+use ahw_tensor::Tensor;
+use std::sync::Arc;
+
+/// Rectified linear unit, `max(0, x)`, elementwise over any shape.
+///
+/// In the VGG builders the hook slot on a `ReLU` is the "activation memory"
+/// of the preceding convolution — the paper's bit-error noise is injected on
+/// the values a layer writes back to its SRAM activation buffer, which is the
+/// post-ReLU map.
+#[derive(Clone, Default)]
+pub struct ReLU {
+    hook: Option<Arc<dyn ActivationHook>>,
+    mask: Option<Vec<bool>>,
+}
+
+impl std::fmt::Debug for ReLU {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReLU").finish_non_exhaustive()
+    }
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        let y = x.map(|v| v.max(0.0));
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        Ok(apply_hook(&self.hook, x.map(|v| v.max(0.0))))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self.mask.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        debug_assert_eq!(mask.len(), grad_out.len());
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, grad_out.dims())?)
+    }
+
+    fn set_hook(
+        &mut self,
+        slot: HookSlot,
+        hook: Option<Arc<dyn ActivationHook>>,
+    ) -> Result<(), NnError> {
+        match slot {
+            HookSlot::Output => {
+                self.hook = hook;
+                Ok(())
+            }
+            other => Err(NnError::InvalidSite(format!("relu has no slot {other:?}"))),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        "relu".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = relu.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = ReLU::new();
+        relu.forward(&Tensor::from_slice(&[-1.0, 3.0]), Mode::Eval)
+            .unwrap();
+        let dx = relu.backward(&Tensor::from_slice(&[5.0, 7.0])).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn gradient_at_zero_is_zero() {
+        let mut relu = ReLU::new();
+        relu.forward(&Tensor::from_slice(&[0.0]), Mode::Eval)
+            .unwrap();
+        let dx = relu.backward(&Tensor::from_slice(&[1.0])).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn backward_twice_errors() {
+        let mut relu = ReLU::new();
+        relu.forward(&Tensor::from_slice(&[1.0]), Mode::Eval)
+            .unwrap();
+        relu.backward(&Tensor::from_slice(&[1.0])).unwrap();
+        assert!(relu.backward(&Tensor::from_slice(&[1.0])).is_err());
+    }
+}

@@ -1,0 +1,466 @@
+use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::util::{par_items_mut, par_map_reduce};
+use crate::{NnError, Param};
+use ahw_tensor::ops::{self, ConvGeometry};
+use ahw_tensor::{rng, Tensor};
+use rand::Rng;
+use std::sync::Arc;
+
+/// 2-D convolution with square kernels, implemented as `im2col` + GEMM.
+///
+/// Weights are stored pre-lowered as an `(out_channels, in_channels·k·k)`
+/// matrix — the exact matrix the memristive-crossbar substrate programs onto
+/// its tiles, so software and hardware paths share one layout.
+///
+/// Input/output tensors are `(N, C, H, W)`.
+#[derive(Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    hook: Option<Arc<dyn ActivationHook>>,
+    param_grads: bool,
+    cache: Option<(Tensor, ConvGeometry)>,
+}
+
+impl std::fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conv2d")
+            .field("in_channels", &self.in_channels)
+            .field("out_channels", &self.out_channels)
+            .field("kernel", &self.kernel)
+            .field("stride", &self.stride)
+            .field("padding", &self.padding)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for zero channels, kernel or stride.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng_: &mut R,
+    ) -> Result<Self, NnError> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(NnError::BadConfig(format!(
+                "conv2d({in_channels}->{out_channels},k{kernel},s{stride}) has a zero dimension"
+            )));
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let weight = rng::kaiming(&[out_channels, fan_in], fan_in, rng_);
+        Ok(Conv2d {
+            weight: Param::new(weight, true),
+            bias: Param::new(Tensor::zeros(&[out_channels]), false),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            hook: None,
+            param_grads: true,
+            cache: None,
+        })
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The lowered `(out_channels, in_channels·k·k)` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Kernel edge length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    fn geometry(&self, x: &Tensor) -> Result<ConvGeometry, NnError> {
+        if x.rank() != 4 || x.dims()[1] != self.in_channels {
+            return Err(NnError::Tensor(ahw_tensor::TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: x.dims().to_vec(),
+                rhs: vec![0, self.in_channels, 0, 0],
+            }));
+        }
+        let g = ConvGeometry {
+            channels: self.in_channels,
+            height: x.dims()[2],
+            width: x.dims()[3],
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
+    fn run_forward(&self, x: &Tensor, g: &ConvGeometry) -> Result<Tensor, NnError> {
+        let n = x.dims()[0];
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let span = g.out_height() * g.out_width();
+        let item_in = g.channels * g.height * g.width;
+        let item_out = self.out_channels * span;
+        let mut out = vec![0.0f32; n * item_out];
+        let xv = x.as_slice();
+        let weight = &self.weight.value;
+        let bias = self.bias.value.as_slice();
+        par_items_mut(&mut out, item_out, |i, chunk| {
+            let xi = Tensor::from_vec(
+                xv[i * item_in..(i + 1) * item_in].to_vec(),
+                &[g.channels, g.height, g.width],
+            )
+            .expect("item slice volume matches");
+            let cols = ops::im2col(&xi, g).expect("geometry validated");
+            let y = ops::matmul(weight, &cols).expect("weight/cols shapes agree");
+            chunk.copy_from_slice(y.as_slice());
+            for (oc, b) in bias.iter().enumerate() {
+                for v in &mut chunk[oc * span..(oc + 1) * span] {
+                    *v += b;
+                }
+            }
+        });
+        Ok(Tensor::from_vec(out, &[n, self.out_channels, oh, ow])?)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        let g = self.geometry(x)?;
+        let y = self.run_forward(x, &g)?;
+        self.cache = Some((x.clone(), g));
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        let g = self.geometry(x)?;
+        let y = self.run_forward(x, &g)?;
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let (x, g) = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        let n = x.dims()[0];
+        let span = g.out_height() * g.out_width();
+        let item_in = g.channels * g.height * g.width;
+        let item_out = self.out_channels * span;
+        debug_assert_eq!(grad_out.len(), n * item_out);
+        let dyv = grad_out.as_slice();
+        let xv = x.as_slice();
+        let weight = &self.weight.value;
+        let patch = g.patch_len();
+
+        // pass 1: dL/dx per item (parallel, disjoint writes)
+        let mut dx = vec![0.0f32; n * item_in];
+        par_items_mut(&mut dx, item_in, |i, chunk| {
+            let dyi = Tensor::from_vec(
+                dyv[i * item_out..(i + 1) * item_out].to_vec(),
+                &[self.out_channels, span],
+            )
+            .expect("item slice volume matches");
+            let dcols = ops::matmul_transa(weight, &dyi).expect("shapes agree");
+            let dxi = ops::col2im(&dcols, &g).expect("geometry validated");
+            chunk.copy_from_slice(dxi.as_slice());
+        });
+
+        // pass 2: dL/dW, dL/db (parallel map-reduce over items)
+        if self.param_grads {
+            let (dw, db) = par_map_reduce(
+                n,
+                || {
+                    (
+                        vec![0.0f32; self.out_channels * patch],
+                        vec![0.0f32; self.out_channels],
+                    )
+                },
+                |i, (dw, db)| {
+                    let xi = Tensor::from_vec(
+                        xv[i * item_in..(i + 1) * item_in].to_vec(),
+                        &[g.channels, g.height, g.width],
+                    )
+                    .expect("item slice volume matches");
+                    let cols = ops::im2col(&xi, &g).expect("geometry validated");
+                    let dyi = Tensor::from_vec(
+                        dyv[i * item_out..(i + 1) * item_out].to_vec(),
+                        &[self.out_channels, span],
+                    )
+                    .expect("item slice volume matches");
+                    let dwi = ops::matmul_transb(&dyi, &cols).expect("shapes agree");
+                    for (a, b) in dw.iter_mut().zip(dwi.as_slice()) {
+                        *a += b;
+                    }
+                    for (oc, d) in db.iter_mut().enumerate() {
+                        *d += dyi.as_slice()[oc * span..(oc + 1) * span]
+                            .iter()
+                            .sum::<f32>();
+                    }
+                },
+                |(mut aw, mut ab), (bw, bb)| {
+                    for (a, b) in aw.iter_mut().zip(&bw) {
+                        *a += b;
+                    }
+                    for (a, b) in ab.iter_mut().zip(&bb) {
+                        *a += b;
+                    }
+                    (aw, ab)
+                },
+            );
+            for (a, b) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+                *a += b;
+            }
+            for (a, b) in self.bias.grad.as_mut_slice().iter_mut().zip(&db) {
+                *a += b;
+            }
+        }
+        Ok(Tensor::from_vec(dx, x.dims())?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_state(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f(&format!("{prefix}.weight"), &mut self.weight.value);
+        f(&format!("{prefix}.bias"), &mut self.bias.value);
+    }
+
+    fn set_hook(
+        &mut self,
+        slot: HookSlot,
+        hook: Option<Arc<dyn ActivationHook>>,
+    ) -> Result<(), NnError> {
+        match slot {
+            HookSlot::Output => {
+                self.hook = hook;
+                Ok(())
+            }
+            other => Err(NnError::InvalidSite(format!(
+                "conv2d has no slot {other:?}"
+            ))),
+        }
+    }
+
+    fn set_param_grads(&mut self, enabled: bool) {
+        self.param_grads = enabled;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv2d({}->{}, k{}, s{}, p{})",
+            self.in_channels, self.out_channels, self.kernel, self.stride, self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahw_tensor::rng::seeded;
+
+    fn finite_diff_input_grad(
+        layer: &mut Conv2d,
+        x: &Tensor,
+        dy: &Tensor,
+        idx: usize,
+        eps: f32,
+    ) -> f32 {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[idx] -= eps;
+        let yp = layer.forward(&xp, Mode::Eval).unwrap();
+        let lp: f32 = yp
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let ym = layer.forward(&xm, Mode::Eval).unwrap();
+        let lm: f32 = ym
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        (lp - lm) / (2.0 * eps)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = seeded(1);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng).unwrap();
+        let x = ahw_tensor::rng::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn strided_forward_shape() {
+        let mut rng = seeded(2);
+        let mut conv = Conv2d::new(2, 4, 3, 2, 1, &mut rng).unwrap();
+        let x = ahw_tensor::rng::normal(&[1, 2, 9, 9], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 5, 5]);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut rng = seeded(3);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng).unwrap();
+        let x = Tensor::zeros(&[1, 2, 8, 8]);
+        assert!(conv.forward(&x, Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = seeded(4);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng).unwrap();
+        assert!(matches!(
+            conv.backward(&Tensor::zeros(&[1, 1, 2, 2])),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded(5);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng).unwrap();
+        let x = ahw_tensor::rng::normal(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let dy = ahw_tensor::rng::normal(&[1, 3, 5, 5], 0.0, 1.0, &mut rng);
+        conv.forward(&x, Mode::Eval).unwrap();
+        let dx = conv.backward(&dy).unwrap();
+        for idx in [0, 7, 24, 49] {
+            let fd = finite_diff_input_grad(&mut conv, &x, &dy, idx, 1e-2);
+            assert!(
+                (fd - dx.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: {fd} vs {}",
+                dx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = seeded(6);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng).unwrap();
+        let x = ahw_tensor::rng::normal(&[2, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let dy = ahw_tensor::rng::normal(&[2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        conv.forward(&x, Mode::Eval).unwrap();
+        conv.backward(&dy).unwrap();
+        let analytic = conv.weight.grad.clone();
+        let eps = 1e-2;
+        for idx in [0, 5, 11] {
+            let orig = conv.weight.value.as_slice()[idx];
+            conv.weight.value.as_mut_slice()[idx] = orig + eps;
+            let yp = conv.forward_infer(&x).unwrap();
+            let lp: f32 = yp
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            conv.weight.value.as_mut_slice()[idx] = orig - eps;
+            let ym = conv.forward_infer(&x).unwrap();
+            let lm: f32 = ym
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            conv.weight.value.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: {fd} vs {}",
+                analytic.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_dy_sum() {
+        let mut rng = seeded(7);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng).unwrap();
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let dy = Tensor::ones(&[1, 2, 2, 2]);
+        conv.forward(&x, Mode::Eval).unwrap();
+        conv.backward(&dy).unwrap();
+        assert_eq!(conv.bias.grad.as_slice(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn param_grads_can_be_disabled() {
+        let mut rng = seeded(8);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng).unwrap();
+        conv.set_param_grads(false);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        conv.forward(&x, Mode::Eval).unwrap();
+        conv.backward(&Tensor::ones(&[1, 1, 4, 4])).unwrap();
+        assert_eq!(conv.weight.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn infer_matches_train_forward() {
+        let mut rng = seeded(9);
+        let mut conv = Conv2d::new(2, 2, 3, 1, 1, &mut rng).unwrap();
+        let x = ahw_tensor::rng::normal(&[3, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let a = conv.forward(&x, Mode::Train).unwrap();
+        let b = conv.forward_infer(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hook_applies_to_output() {
+        struct Negate;
+        impl ActivationHook for Negate {
+            fn apply(&self, x: &Tensor) -> Tensor {
+                x.scale(-1.0)
+            }
+        }
+        let mut rng = seeded(10);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng).unwrap();
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let plain = conv.forward_infer(&x).unwrap();
+        conv.set_hook(HookSlot::Output, Some(Arc::new(Negate)))
+            .unwrap();
+        let hooked = conv.forward_infer(&x).unwrap();
+        assert_eq!(hooked.scale(-1.0), plain);
+        assert!(conv.set_hook(HookSlot::BlockConv1, None).is_err());
+    }
+}

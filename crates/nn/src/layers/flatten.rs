@@ -1,0 +1,77 @@
+use crate::layer::{Layer, Mode};
+use crate::NnError;
+use ahw_tensor::Tensor;
+
+/// Flattens `(N, …)` to `(N, prod(…))` — the bridge from convolutional
+/// features to the classifier head.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cache: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn flatten(x: &Tensor) -> Result<Tensor, NnError> {
+        if x.rank() == 0 {
+            return Err(NnError::Tensor(ahw_tensor::TensorError::RankMismatch {
+                op: "flatten",
+                expected: 2,
+                actual: 0,
+            }));
+        }
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        Ok(x.reshape(&[n, rest])?)
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        self.cache = Some(x.dims().to_vec());
+        Self::flatten(x)
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        Self::flatten(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let dims = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        Ok(grad_out.reshape(&dims)?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        "flatten".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 60]);
+        let dx = f.backward(&Tensor::ones(&[2, 60])).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rejects_scalar() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::full(&[], 1.0), Mode::Eval).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::{NnError, Param};
+use ahw_tensor::ops;
+use ahw_tensor::{rng, Tensor};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Fully-connected layer: `y = x · Wᵀ + b` over `(N, in_features)` inputs.
+///
+/// The weight is stored `(out_features, in_features)` — rows are output
+/// neurons — which is also the orientation the crossbar substrate programs.
+#[derive(Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    hook: Option<Arc<dyn ActivationHook>>,
+    param_grads: bool,
+    cache: Option<Tensor>,
+}
+
+impl std::fmt::Debug for Linear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Linear")
+            .field("in_features", &self.in_features)
+            .field("out_features", &self.out_features)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-normal weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if either feature count is zero.
+    pub fn new<R: Rng>(
+        in_features: usize,
+        out_features: usize,
+        rng_: &mut R,
+    ) -> Result<Self, NnError> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::BadConfig(format!(
+                "linear({in_features}->{out_features}) has a zero dimension"
+            )));
+        }
+        let weight = rng::kaiming(&[out_features, in_features], in_features, rng_);
+        Ok(Linear {
+            weight: Param::new(weight, true),
+            bias: Param::new(Tensor::zeros(&[out_features]), false),
+            in_features,
+            out_features,
+            hook: None,
+            param_grads: true,
+            cache: None,
+        })
+    }
+
+    /// The `(out_features, in_features)` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    fn run_forward(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.rank() != 2 || x.dims()[1] != self.in_features {
+            return Err(NnError::Tensor(ahw_tensor::TensorError::ShapeMismatch {
+                op: "linear",
+                lhs: x.dims().to_vec(),
+                rhs: vec![0, self.in_features],
+            }));
+        }
+        let mut y = ops::matmul_transb(x, &self.weight.value)?;
+        let n = y.dims()[0];
+        let bias = self.bias.value.as_slice();
+        let yv = y.as_mut_slice();
+        for r in 0..n {
+            for (c, b) in bias.iter().enumerate() {
+                yv[r * self.out_features + c] += b;
+            }
+        }
+        Ok(y)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        let y = self.run_forward(x)?;
+        self.cache = Some(x.clone());
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        let y = self.run_forward(x)?;
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        let dx = ops::matmul(grad_out, &self.weight.value)?;
+        if self.param_grads {
+            let dw = ops::matmul_transa(grad_out, &x)?;
+            self.weight.grad.add_scaled(&dw, 1.0)?;
+            let n = grad_out.dims()[0];
+            let gv = grad_out.as_slice();
+            let db = self.bias.grad.as_mut_slice();
+            for r in 0..n {
+                for (c, d) in db.iter_mut().enumerate() {
+                    *d += gv[r * self.out_features + c];
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_state(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f(&format!("{prefix}.weight"), &mut self.weight.value);
+        f(&format!("{prefix}.bias"), &mut self.bias.value);
+    }
+
+    fn set_hook(
+        &mut self,
+        slot: HookSlot,
+        hook: Option<Arc<dyn ActivationHook>>,
+    ) -> Result<(), NnError> {
+        match slot {
+            HookSlot::Output => {
+                self.hook = hook;
+                Ok(())
+            }
+            other => Err(NnError::InvalidSite(format!(
+                "linear has no slot {other:?}"
+            ))),
+        }
+    }
+
+    fn set_param_grads(&mut self, enabled: bool) {
+        self.param_grads = enabled;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!("linear({}->{})", self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahw_tensor::rng::seeded;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut rng = seeded(1);
+        let mut lin = Linear::new(2, 3, &mut rng).unwrap();
+        // overwrite with known values
+        lin.weight.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        lin.bias.value = Tensor::from_slice(&[0.5, 0.0, -0.5]);
+        let x = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]).unwrap();
+        let y = lin.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 3.0, 4.5]);
+    }
+
+    #[test]
+    fn rejects_wrong_feature_count() {
+        let mut rng = seeded(2);
+        let mut lin = Linear::new(4, 2, &mut rng).unwrap();
+        assert!(lin.forward(&Tensor::zeros(&[1, 3]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = seeded(3);
+        let mut lin = Linear::new(3, 2, &mut rng).unwrap();
+        let x = ahw_tensor::rng::normal(&[4, 3], 0.0, 1.0, &mut rng);
+        let dy = ahw_tensor::rng::normal(&[4, 2], 0.0, 1.0, &mut rng);
+        lin.forward(&x, Mode::Eval).unwrap();
+        let dx = lin.backward(&dy).unwrap();
+        let eps = 1e-3;
+        // input gradient
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp: f32 = lin
+                .forward_infer(&xp)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = lin
+                .forward_infer(&xm)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dx.as_slice()[idx]).abs() < 1e-2);
+        }
+        // weight gradient (spot check)
+        for idx in [0, 3, 5] {
+            let orig = lin.weight.value.as_slice()[idx];
+            lin.weight.value.as_mut_slice()[idx] = orig + eps;
+            let lp: f32 = lin
+                .forward_infer(&x)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            lin.weight.value.as_mut_slice()[idx] = orig - eps;
+            let lm: f32 = lin
+                .forward_infer(&x)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            lin.weight.value.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - lin.weight.grad.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bias_grad_is_column_sum() {
+        let mut rng = seeded(4);
+        let mut lin = Linear::new(2, 2, &mut rng).unwrap();
+        let x = Tensor::zeros(&[3, 2]);
+        lin.forward(&x, Mode::Eval).unwrap();
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        lin.backward(&dy).unwrap();
+        assert_eq!(lin.bias.grad.as_slice(), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn state_visits_weight_and_bias() {
+        let mut rng = seeded(5);
+        let mut lin = Linear::new(2, 2, &mut rng).unwrap();
+        let mut names = Vec::new();
+        lin.visit_state("fc", &mut |name, _| names.push(name.to_string()));
+        assert_eq!(names, vec!["fc.weight", "fc.bias"]);
+    }
+}

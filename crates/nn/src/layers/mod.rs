@@ -1,0 +1,15 @@
+//! Built-in layer implementations.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod flatten;
+mod linear;
+mod pool;
+
+pub use activation::ReLU;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, MaxPool2d};

@@ -1,0 +1,361 @@
+use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::NnError;
+use ahw_tensor::{Tensor, TensorError};
+use std::sync::Arc;
+
+fn pool_out(extent: usize, kernel: usize, stride: usize) -> usize {
+    (extent - kernel) / stride + 1
+}
+
+fn check_pool_input(
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    op: &'static str,
+) -> Result<(usize, usize, usize, usize), NnError> {
+    if x.rank() != 4 {
+        return Err(NnError::Tensor(TensorError::RankMismatch {
+            op,
+            expected: 4,
+            actual: x.rank(),
+        }));
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    if kernel == 0 || stride == 0 || h < kernel || w < kernel {
+        return Err(NnError::Tensor(TensorError::InvalidArgument(format!(
+            "{op}: kernel {kernel}/stride {stride} invalid for {h}x{w} input"
+        ))));
+    }
+    Ok((n, c, h, w))
+}
+
+/// Max pooling over square windows of a `(N, C, H, W)` tensor.
+///
+/// These are the `P` sites of the paper's Table I: the pooled activation map
+/// is what gets written to the layer's activation memory, so the hook slot
+/// sits on the pool output.
+#[derive(Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    hook: Option<Arc<dyn ActivationHook>>,
+    /// (input dims, flat index into the input chosen per output element)
+    cache: Option<(Vec<usize>, Vec<u32>)>,
+}
+
+impl std::fmt::Debug for MaxPool2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaxPool2d")
+            .field("kernel", &self.kernel)
+            .field("stride", &self.stride)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window and stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            hook: None,
+            cache: None,
+        }
+    }
+
+    fn run(&self, x: &Tensor) -> Result<(Tensor, Vec<u32>), NnError> {
+        let (n, c, h, w) = check_pool_input(x, self.kernel, self.stride, "maxpool2d")?;
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
+        let xv = x.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0u32; out.len()];
+        let mut o = 0usize;
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kernel {
+                            let iy = oy * self.stride + ky;
+                            for kx in 0..self.kernel {
+                                let ix = ox * self.stride + kx;
+                                let idx = base + iy * w + ix;
+                                if xv[idx] > best {
+                                    best = xv[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out[o] = best;
+                        argmax[o] = best_idx as u32;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        Ok((Tensor::from_vec(out, &[n, c, oh, ow])?, argmax))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        let (y, argmax) = self.run(x)?;
+        self.cache = Some((x.dims().to_vec(), argmax));
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        let (y, _) = self.run(x)?;
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let (in_dims, argmax) = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        debug_assert_eq!(argmax.len(), grad_out.len());
+        let mut dx = Tensor::zeros(&in_dims);
+        let dxv = dx.as_mut_slice();
+        for (&g, &idx) in grad_out.as_slice().iter().zip(&argmax) {
+            dxv[idx as usize] += g;
+        }
+        Ok(dx)
+    }
+
+    fn set_hook(
+        &mut self,
+        slot: HookSlot,
+        hook: Option<Arc<dyn ActivationHook>>,
+    ) -> Result<(), NnError> {
+        match slot {
+            HookSlot::Output => {
+                self.hook = hook;
+                Ok(())
+            }
+            other => Err(NnError::InvalidSite(format!(
+                "maxpool2d has no slot {other:?}"
+            ))),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!("maxpool2d(k{}, s{})", self.kernel, self.stride)
+    }
+}
+
+/// Average pooling over square windows of a `(N, C, H, W)` tensor.
+///
+/// With `kernel == H == W` this is the global average pool closing a ResNet.
+#[derive(Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    hook: Option<Arc<dyn ActivationHook>>,
+    cache: Option<Vec<usize>>,
+}
+
+impl std::fmt::Debug for AvgPool2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AvgPool2d")
+            .field("kernel", &self.kernel)
+            .field("stride", &self.stride)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with the given window and stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            kernel,
+            stride,
+            hook: None,
+            cache: None,
+        }
+    }
+
+    fn run(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        let (n, c, h, w) = check_pool_input(x, self.kernel, self.stride, "avgpool2d")?;
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
+        let xv = x.as_slice();
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut o = 0usize;
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..self.kernel {
+                            let iy = oy * self.stride + ky;
+                            let row = base + iy * w + ox * self.stride;
+                            for kx in 0..self.kernel {
+                                acc += xv[row + kx];
+                            }
+                        }
+                        out[o] = acc * inv;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        let y = self.run(x)?;
+        self.cache = Some(x.dims().to_vec());
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        Ok(apply_hook(&self.hook, self.run(x)?))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let in_dims = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut dx = Tensor::zeros(&in_dims);
+        let dxv = dx.as_mut_slice();
+        let gv = grad_out.as_slice();
+        let mut o = 0usize;
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gv[o] * inv;
+                        o += 1;
+                        for ky in 0..self.kernel {
+                            let iy = oy * self.stride + ky;
+                            let row = base + iy * w + ox * self.stride;
+                            for kx in 0..self.kernel {
+                                dxv[row + kx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn set_hook(
+        &mut self,
+        slot: HookSlot,
+        hook: Option<Arc<dyn ActivationHook>>,
+    ) -> Result<(), NnError> {
+        match slot {
+            HookSlot::Output => {
+                self.hook = hook;
+                Ok(())
+            }
+            other => Err(NnError::InvalidSite(format!(
+                "avgpool2d has no slot {other:?}"
+            ))),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!("avgpool2d(k{}, s{})", self.kernel, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let mut pool = MaxPool2d::new(2, 2);
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let mut pool = MaxPool2d::new(2, 2);
+        pool.forward(&x, Mode::Eval).unwrap();
+        let dx = pool
+            .backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_averages_windows() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let mut pool = AvgPool2d::new(2, 2);
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_evenly() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let mut pool = AvgPool2d::new(2, 2);
+        pool.forward(&x, Mode::Eval).unwrap();
+        let dx = pool
+            .backward(&Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_rejects_small_input() {
+        let mut pool = MaxPool2d::new(3, 3);
+        assert!(pool
+            .forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval)
+            .is_err());
+    }
+
+    #[test]
+    fn pool_rejects_wrong_rank() {
+        let mut pool = AvgPool2d::new(2, 2);
+        assert!(pool.forward(&Tensor::zeros(&[4, 4]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn overlapping_maxpool_shape() {
+        let x = Tensor::zeros(&[2, 3, 5, 5]);
+        let mut pool = MaxPool2d::new(3, 1);
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 3, 3]);
+    }
+}

@@ -1,0 +1,64 @@
+use ahw_tensor::Tensor;
+
+/// A trainable parameter: its value plus an accumulated gradient.
+///
+/// Optimizers visit every `Param` of a model through
+/// [`Layer::visit_params`](crate::Layer::visit_params); layers accumulate
+/// into [`grad`](Param::grad) during `backward` and the optimizer consumes
+/// and zeroes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+    /// Whether L2 weight decay applies (true for weights, false for biases
+    /// and batch-norm affine parameters, per common practice).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient.
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad, decay }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[3, 2]), true);
+        assert_eq!(p.grad.dims(), &[3, 2]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[2]), false);
+        p.grad.as_mut_slice()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

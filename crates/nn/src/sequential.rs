@@ -1,0 +1,488 @@
+use crate::layer::{ActivationHook, HookSlot, Layer, Mode};
+use crate::util::num_threads;
+use crate::{NnError, Param};
+use ahw_tensor::{ops, Tensor};
+use std::sync::Arc;
+
+/// Addresses one hook location in a [`Sequential`] model: the `layer`-th
+/// top-level layer, at one of its [`HookSlot`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// Index into the model's top-level layer list.
+    pub layer: usize,
+    /// Slot within that layer.
+    pub slot: HookSlot,
+}
+
+impl Site {
+    /// The [`HookSlot::Output`] site of layer `layer`.
+    pub fn output(layer: usize) -> Self {
+        Site {
+            layer,
+            slot: HookSlot::Output,
+        }
+    }
+}
+
+/// An ordered stack of layers forming a network.
+///
+/// `Sequential` is the model type used throughout the workspace: the VGG
+/// and ResNet builders produce one, the trainer optimizes one, attacks
+/// differentiate through one, and the hardware substrates transform one
+/// (by installing hooks or swapping layers for crossbar-mapped versions).
+///
+/// ```
+/// use ahw_nn::{Sequential, Mode};
+/// use ahw_nn::layers::{Linear, ReLU};
+/// use ahw_tensor::{rng, Tensor};
+///
+/// # fn main() -> Result<(), ahw_nn::NnError> {
+/// let mut rng = rng::seeded(0);
+/// let mut model = Sequential::new();
+/// model.push(Linear::new(4, 8, &mut rng)?);
+/// model.push(ReLU::new());
+/// model.push(Linear::new(8, 2, &mut rng)?);
+/// let logits = model.forward(&Tensor::zeros(&[1, 4]), Mode::Eval)?;
+/// assert_eq!(logits.dims(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let descriptions: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        f.debug_struct("Sequential")
+            .field("layers", &descriptions)
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of top-level layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow of the `i`-th layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer(&self, i: usize) -> &dyn Layer {
+        self.layers[i].as_ref()
+    }
+
+    /// Mutable borrow of the `i`-th layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_mut(&mut self, i: usize) -> &mut Box<dyn Layer> {
+        &mut self.layers[i]
+    }
+
+    /// Replaces the `i`-th layer, returning the old one. The hardware
+    /// substrates use this to swap software layers for mapped equivalents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replace_layer(&mut self, i: usize, layer: Box<dyn Layer>) -> Box<dyn Layer> {
+        std::mem::replace(&mut self.layers[i], layer)
+    }
+
+    /// Caching forward pass through every layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode)?;
+        }
+        Ok(cur)
+    }
+
+    /// Cache-free eval-mode forward pass (usable from several threads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward_infer(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Backward pass; returns `dL/dinput`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if [`forward`](Sequential::forward)
+    /// did not precede.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Visits every trainable parameter of every layer.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Visits every persistent tensor with a hierarchical name.
+    pub fn visit_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.visit_state(&format!("layers.{i}"), f);
+        }
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zeroes every accumulated gradient.
+    pub fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Enables/disables parameter-gradient accumulation model-wide.
+    pub fn set_param_grads(&mut self, enabled: bool) {
+        for layer in &mut self.layers {
+            layer.set_param_grads(enabled);
+        }
+    }
+
+    /// Installs (or clears, with `None`) an activation hook at `site`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSite`] if the site does not exist.
+    pub fn set_hook(
+        &mut self,
+        site: Site,
+        hook: Option<Arc<dyn ActivationHook>>,
+    ) -> Result<(), NnError> {
+        let layer = self.layers.get_mut(site.layer).ok_or_else(|| {
+            NnError::InvalidSite(format!("layer index {} out of range", site.layer))
+        })?;
+        layer.set_hook(site.slot, hook)
+    }
+
+    /// Removes every installed hook (best effort; layers without slots are
+    /// skipped).
+    pub fn clear_hooks(&mut self) {
+        for layer in &mut self.layers {
+            let _ = layer.set_hook(HookSlot::Output, None);
+            let _ = layer.set_hook(HookSlot::BlockConv1, None);
+            let _ = layer.set_hook(HookSlot::BlockShortcut, None);
+        }
+    }
+
+    /// A human-readable architecture summary: one line per layer with its
+    /// description and parameter count, plus a total.
+    ///
+    /// ```
+    /// use ahw_nn::{Sequential, layers::Linear};
+    /// use ahw_tensor::rng;
+    ///
+    /// # fn main() -> Result<(), ahw_nn::NnError> {
+    /// let mut m = Sequential::new();
+    /// m.push(Linear::new(4, 2, &mut rng::seeded(0))?);
+    /// assert!(m.summary().contains("linear(4->2)"));
+    /// assert!(m.summary().contains("total: 10 parameters"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn summary(&mut self) -> String {
+        let mut out = String::new();
+        let mut total = 0usize;
+        for i in 0..self.layers.len() {
+            let mut count = 0usize;
+            self.layers[i].visit_params(&mut |p| count += p.len());
+            out.push_str(&format!(
+                "{i:>3}  {:<40} {:>10}\n",
+                self.layers[i].describe(),
+                count
+            ));
+            total += count;
+        }
+        out.push_str(&format!("total: {total} parameters\n"));
+        out
+    }
+
+    /// Mean cross-entropy loss and the gradient of the loss with respect to
+    /// the *input*, computed in the given mode. Parameter gradients are not
+    /// accumulated — this is the attack primitive (`∇ₓ L(θ, x, y)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and loss errors.
+    pub fn input_gradient(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        mode: Mode,
+    ) -> Result<(f32, Tensor), NnError> {
+        self.set_param_grads(false);
+        let result = (|| {
+            let logits = self.forward(x, mode)?;
+            let (loss, dlogits) = ops::cross_entropy_with_grad(&logits, labels)?;
+            let dx = self.backward(&dlogits)?;
+            Ok((loss, dx))
+        })();
+        self.set_param_grads(true);
+        result
+    }
+
+    /// Predicted class index for every row of a batch (eval mode, no cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn predict(&self, x: &Tensor) -> Result<Vec<usize>, NnError> {
+        let logits = self.forward_infer(x)?;
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        let lv = logits.as_slice();
+        Ok((0..n)
+            .map(|r| {
+                let row = &lv[r * c..(r + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect())
+    }
+
+    /// Classification accuracy over `(images, labels)`, evaluated in
+    /// parallel chunks of `batch` items.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; returns [`NnError::BadConfig`] if lengths
+    /// disagree or `batch` is zero.
+    pub fn accuracy(
+        &self,
+        images: &Tensor,
+        labels: &[usize],
+        batch: usize,
+    ) -> Result<f32, NnError> {
+        if batch == 0 {
+            return Err(NnError::BadConfig("batch must be non-zero".into()));
+        }
+        let n = images.dims()[0];
+        if labels.len() != n {
+            return Err(NnError::BadConfig(format!(
+                "{} labels for {} images",
+                labels.len(),
+                n
+            )));
+        }
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let item = images.len() / n;
+        let chunks: Vec<(usize, usize)> = (0..n)
+            .step_by(batch)
+            .map(|lo| (lo, (lo + batch).min(n)))
+            .collect();
+        let threads = num_threads().min(chunks.len()).max(1);
+        let correct: Result<usize, NnError> = crossbeam::scope(|s| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let chunks = &chunks;
+                let model = &*self;
+                let xv = images.as_slice();
+                let dims = images.dims();
+                handles.push(s.spawn(move |_| -> Result<usize, NnError> {
+                    let mut correct = 0usize;
+                    for (ci, &(lo, hi)) in chunks.iter().enumerate() {
+                        if ci % threads != worker {
+                            continue;
+                        }
+                        let mut bd = dims.to_vec();
+                        bd[0] = hi - lo;
+                        let xb = Tensor::from_vec(xv[lo * item..hi * item].to_vec(), &bd)?;
+                        let preds = model.predict(&xb)?;
+                        correct += preds
+                            .iter()
+                            .zip(&labels[lo..hi])
+                            .filter(|(p, l)| p == l)
+                            .count();
+                    }
+                    Ok(correct)
+                }));
+            }
+            let mut total = 0usize;
+            for h in handles {
+                total += h.join().expect("worker panicked")?;
+            }
+            Ok(total)
+        })
+        .expect("scope panicked");
+        Ok(correct? as f32 / n as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, ReLU};
+    use ahw_tensor::rng::{normal, seeded};
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = seeded(seed);
+        let mut m = Sequential::new();
+        m.push(Linear::new(3, 8, &mut rng).unwrap());
+        m.push(ReLU::new());
+        m.push(Linear::new(8, 2, &mut rng).unwrap());
+        m
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut m = tiny_model(1);
+        let y = m.forward(&Tensor::zeros(&[4, 3]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut m = tiny_model(2);
+        let x = normal(&[2, 3], 0.0, 1.0, &mut seeded(3));
+        let labels = [0usize, 1];
+        let (_, dx) = m.input_gradient(&x, &labels, Mode::Eval).unwrap();
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = {
+                let logits = m.forward_infer(&xp).unwrap();
+                ops::cross_entropy_with_grad(&logits, &labels).unwrap().0
+            };
+            let lm = {
+                let logits = m.forward_infer(&xm).unwrap();
+                ops::cross_entropy_with_grad(&logits, &labels).unwrap().0
+            };
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[idx]).abs() < 1e-2,
+                "idx {idx}: {fd} vs {}",
+                dx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_leaves_param_grads_untouched() {
+        let mut m = tiny_model(4);
+        let x = normal(&[2, 3], 0.0, 1.0, &mut seeded(5));
+        m.input_gradient(&x, &[0, 1], Mode::Eval).unwrap();
+        let mut total = 0.0;
+        m.visit_params(&mut |p| total += p.grad.norm());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn predict_and_accuracy_agree() {
+        let m = tiny_model(6);
+        let x = normal(&[10, 3], 0.0, 1.0, &mut seeded(7));
+        let preds = m.predict(&x).unwrap();
+        let acc = m.accuracy(&x, &preds, 3).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn accuracy_validates_arguments() {
+        let m = tiny_model(8);
+        let x = Tensor::zeros(&[2, 3]);
+        assert!(m.accuracy(&x, &[0], 4).is_err());
+        assert!(m.accuracy(&x, &[0, 1], 0).is_err());
+    }
+
+    #[test]
+    fn set_hook_rejects_bad_site() {
+        let mut m = tiny_model(9);
+        assert!(m.set_hook(Site::output(99), None).is_err());
+        assert!(m
+            .set_hook(
+                Site {
+                    layer: 0,
+                    slot: HookSlot::BlockConv1
+                },
+                None
+            )
+            .is_err());
+        assert!(m.set_hook(Site::output(1), None).is_ok());
+    }
+
+    #[test]
+    fn param_count_is_sum_of_layers() {
+        let mut m = tiny_model(10);
+        assert_eq!(m.param_count(), 3 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut m = tiny_model(11);
+        let mut c = m.clone();
+        let x = normal(&[1, 3], 0.0, 1.0, &mut seeded(12));
+        // mutate original's params
+        m.visit_params(&mut |p| p.value.map_in_place(|v| v + 1.0));
+        let ym = m.forward_infer(&x).unwrap();
+        let yc = c.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(ym, yc);
+    }
+
+    #[test]
+    fn replace_layer_swaps() {
+        let mut m = tiny_model(13);
+        let old = m.replace_layer(1, Box::new(ReLU::new()));
+        assert_eq!(old.describe(), "relu");
+        assert_eq!(m.len(), 3);
+    }
+}

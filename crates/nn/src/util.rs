@@ -1,0 +1,186 @@
+//! Batch-level parallelism helpers built on `crossbeam` scoped threads.
+//!
+//! The convolution and linear layers dominate both training and hardware
+//! simulation time; they parallelize over batch items with these utilities
+//! (the offline crate set has no rayon).
+
+/// Number of worker threads to use for batch parallelism.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(item_index, item_chunk)` for every `item_len`-sized chunk of
+/// `out`, distributing contiguous runs of items across worker threads.
+///
+/// `out.len()` must be a multiple of `item_len`.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn par_items_mut<F>(out: &mut [f32], item_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if item_len == 0 || out.is_empty() {
+        return;
+    }
+    debug_assert_eq!(out.len() % item_len, 0);
+    let n = out.len() / item_len;
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        for (i, chunk) in out.chunks_mut(item_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let per = n.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = out;
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = (per * item_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let first = start;
+            start += take / item_len;
+            let f = &f;
+            s.spawn(move |_| {
+                for (j, chunk) in head.chunks_mut(item_len).enumerate() {
+                    f(first + j, chunk);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Maps `f` over `0..n` on worker threads and reduces the per-thread partial
+/// results with `reduce`. `init` creates each thread's accumulator.
+///
+/// Used for gradient accumulation: each thread sums its batch items into a
+/// private buffer, then the buffers are folded together deterministically
+/// (in thread-range order).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn par_map_reduce<A, F, R>(n: usize, init: impl Fn() -> A + Sync, f: F, reduce: R) -> A
+where
+    A: Send,
+    F: Fn(usize, &mut A) + Sync,
+    R: Fn(A, A) -> A,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        let mut acc = init();
+        for i in 0..n {
+            f(i, &mut acc);
+        }
+        return acc;
+    }
+    let per = n.div_ceil(threads);
+    let mut parts: Vec<(usize, A)> = crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * per;
+            let hi = ((t + 1) * per).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            let init = &init;
+            handles.push(s.spawn(move |_| {
+                let mut acc = init();
+                for i in lo..hi {
+                    f(i, &mut acc);
+                }
+                (t, acc)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("worker thread panicked");
+    parts.sort_by_key(|(t, _)| *t);
+    let mut iter = parts.into_iter().map(|(_, a)| a);
+    let first = iter.next().expect("at least one partition");
+    iter.fold(first, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_items_mut_touches_every_item() {
+        let mut out = vec![0.0f32; 7 * 3];
+        par_items_mut(&mut out, 3, |i, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 10 + k) as f32;
+            }
+        });
+        for i in 0..7 {
+            for k in 0..3 {
+                assert_eq!(out[i * 3 + k], (i * 10 + k) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn par_items_mut_handles_empty() {
+        let mut out: Vec<f32> = vec![];
+        par_items_mut(&mut out, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_map_reduce_sums() {
+        let total = par_map_reduce(1000, || 0u64, |i, acc| *acc += i as u64, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn par_map_reduce_zero_items_returns_init() {
+        let v = par_map_reduce(0, || 42i32, |_, _| panic!(), |a, _| a);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn par_map_reduce_is_deterministic_for_vec_sum() {
+        // floats reduced in fixed partition order must be reproducible
+        let a = par_map_reduce(
+            97,
+            || vec![0.0f32; 4],
+            |i, acc| {
+                for (k, v) in acc.iter_mut().enumerate() {
+                    *v += ((i * 7 + k) % 13) as f32 * 0.1;
+                }
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        let b = par_map_reduce(
+            97,
+            || vec![0.0f32; 4],
+            |i, acc| {
+                for (k, v) in acc.iter_mut().enumerate() {
+                    *v += ((i * 7 + k) % 13) as f32 * 0.1;
+                }
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        assert_eq!(a, b);
+    }
+}

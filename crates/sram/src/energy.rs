@@ -1,0 +1,97 @@
+//! First-order access-energy model for hybrid memories.
+//!
+//! The whole point of tolerating 6T bit errors is the energy saved by
+//! voltage scaling: dynamic access energy goes as `C·V²`, and a 6T cell has
+//! less bit-line/cell capacitance than the read-decoupled 8T cell. This
+//! module quantifies the savings a hybrid configuration buys relative to a
+//! fully-protected 8T word at nominal voltage, so experiment outputs can
+//! report the efficiency side of the robustness/efficiency trade.
+
+use crate::{HybridMemoryConfig, HybridWordConfig};
+
+/// Nominal supply voltage used as the energy baseline, volts.
+pub const NOMINAL_VDD: f32 = 0.90;
+
+/// Relative switched capacitance of an 8T cell access (6T ≡ 1.0).
+/// The extra read port of the 8T cell adds roughly 30 % of cell and
+/// bit-line capacitance (Chang et al., TCSVT 2011).
+pub const EIGHT_T_CAP_RATIO: f32 = 1.3;
+
+/// Per-access dynamic energy of one word, in units where a single 6T cell
+/// accessed at 1 V costs 1.0: `E = Σ_cells c_cell · Vdd²`.
+pub fn word_access_energy(word: HybridWordConfig, vdd: f32) -> f32 {
+    let cells = f32::from(word.eight_t()) * EIGHT_T_CAP_RATIO + f32::from(word.six_t());
+    cells * vdd * vdd
+}
+
+/// Energy of a hybrid operating point relative to the all-8T word at
+/// [`NOMINAL_VDD`] — below 1.0 means the configuration saves energy.
+///
+/// ```
+/// use ahw_sram::{energy, HybridMemoryConfig, HybridWordConfig};
+///
+/// # fn main() -> Result<(), ahw_sram::SramError> {
+/// let cfg = HybridMemoryConfig::new(HybridWordConfig::new(5, 3)?, 0.68)?;
+/// let rel = energy::relative_energy(&cfg);
+/// assert!(rel < 0.65); // > 35 % saved vs protected words at nominal Vdd
+/// # Ok(())
+/// # }
+/// ```
+pub fn relative_energy(config: &HybridMemoryConfig) -> f32 {
+    let baseline = word_access_energy(HybridWordConfig::homogeneous_8t(), NOMINAL_VDD);
+    word_access_energy(config.word(), config.vdd()) / baseline
+}
+
+/// Percentage of access energy saved by `config` versus the protected
+/// baseline (positive = savings).
+pub fn savings_percent(config: &HybridMemoryConfig) -> f32 {
+    (1.0 - relative_energy(config)) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(eight_t: u8, six_t: u8, vdd: f32) -> HybridMemoryConfig {
+        HybridMemoryConfig::new(HybridWordConfig::new(eight_t, six_t).unwrap(), vdd).unwrap()
+    }
+
+    #[test]
+    fn all_8t_at_nominal_is_unity() {
+        assert!((relative_energy(&cfg(8, 0, NOMINAL_VDD)) - 1.0).abs() < 1e-6);
+        assert!(savings_percent(&cfg(8, 0, NOMINAL_VDD)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn voltage_scaling_saves_quadratically() {
+        let high = relative_energy(&cfg(8, 0, 0.9));
+        let low = relative_energy(&cfg(8, 0, 0.6));
+        assert!((low / high - (0.6f32 / 0.9).powi(2)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn more_6t_cells_save_energy_at_fixed_voltage() {
+        let mut prev = f32::INFINITY;
+        for six_t in 0..=8u8 {
+            let e = relative_energy(&cfg(8 - six_t, six_t, 0.68));
+            assert!(e < prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn paper_operating_point_saves_substantially() {
+        // 3/5 split at 0.68 V — a typical Table I configuration
+        let savings = savings_percent(&cfg(3, 5, 0.68));
+        assert!(savings > 45.0, "savings {savings}%");
+        assert!(savings < 80.0, "savings {savings}% implausibly high");
+    }
+
+    #[test]
+    fn word_energy_counts_cell_mix() {
+        let all6 = word_access_energy(HybridWordConfig::homogeneous_6t(), 1.0);
+        let all8 = word_access_energy(HybridWordConfig::homogeneous_8t(), 1.0);
+        assert_eq!(all6, 8.0);
+        assert!((all8 - 8.0 * EIGHT_T_CAP_RATIO).abs() < 1e-5);
+    }
+}

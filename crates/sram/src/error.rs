@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Error type for hybrid-memory configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SramError {
+    /// The 8T/6T split does not sum to the word width.
+    BadWordSplit {
+        /// Requested 8T cell count.
+        eight_t: u8,
+        /// Requested 6T cell count.
+        six_t: u8,
+    },
+    /// A supply voltage outside the modelled range.
+    BadVoltage(String),
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::BadWordSplit { eight_t, six_t } => write!(
+                f,
+                "8T({eight_t}) + 6T({six_t}) must equal the 8-bit word width"
+            ),
+            SramError::BadVoltage(msg) => write!(f, "unsupported supply voltage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SramError::BadWordSplit {
+            eight_t: 5,
+            six_t: 5,
+        };
+        assert!(e.to_string().contains("8T(5)"));
+    }
+}

@@ -1,0 +1,219 @@
+use crate::{BitErrorModel, HybridMemoryConfig};
+use ahw_nn::ActivationHook;
+use ahw_tensor::quant::QTensor;
+use ahw_tensor::{rng, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Mutex;
+
+/// Which memory a hybrid configuration corrupts. The paper finds activation
+/// memories give larger robustness gains than parameter memories (§III-A);
+/// both are supported so the ablation can be reproduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NoiseTarget {
+    /// The hybrid memory stores layer activations (the paper's main setting).
+    #[default]
+    Activations,
+    /// The hybrid memory stores layer weights.
+    Weights,
+}
+
+/// Stochastic bit-error noise source for one activation (or weight) memory.
+///
+/// `apply` models a store-then-load round trip through a hybrid 8T-6T
+/// memory: values are quantized to 8-bit words (range fitted per tensor, as
+/// a dynamic fixed-point memory controller would), every 6T-held bit flips
+/// independently with the voltage-dependent error rate, and the corrupted
+/// words are dequantized.
+///
+/// Implements [`ahw_nn::ActivationHook`], so it can be installed at any
+/// noise site of a model. Sampling state lives behind a mutex (hooks are
+/// shared during parallel evaluation); the sequence is deterministic given
+/// the constructor seed.
+#[derive(Debug)]
+pub struct BitErrorInjector {
+    config: HybridMemoryConfig,
+    ber: f32,
+    seed: u64,
+    rng: Mutex<StdRng>,
+}
+
+impl BitErrorInjector {
+    /// Creates an injector for one memory operating point.
+    pub fn new(config: HybridMemoryConfig, model: &BitErrorModel, seed: u64) -> Self {
+        BitErrorInjector {
+            config,
+            ber: config.bit_error_rate(model),
+            seed,
+            rng: Mutex::new(rng::seeded(seed)),
+        }
+    }
+
+    /// The memory operating point.
+    pub fn config(&self) -> HybridMemoryConfig {
+        self.config
+    }
+
+    /// The per-bit error rate in effect.
+    pub fn bit_error_rate(&self) -> f32 {
+        self.ber
+    }
+
+    /// Resets the stochastic state to the constructor seed (so repeated
+    /// evaluations see identical noise).
+    pub fn reset(&self) {
+        *self.rng.lock().expect("rng mutex poisoned") = rng::seeded(self.seed);
+    }
+
+    /// One store/load round trip through the hybrid memory.
+    ///
+    /// This is `apply` with an explicit name for use outside hook contexts —
+    /// e.g. corrupting a *weight* tensor once at load time for the
+    /// [`NoiseTarget::Weights`] ablation.
+    pub fn corrupt(&self, x: &Tensor) -> Tensor {
+        let mut q = match QTensor::quantize(x, 8) {
+            Ok(q) => q,
+            // only fails on bits outside 1..=8, which 8 is not
+            Err(_) => unreachable!("8-bit quantization is always valid"),
+        };
+        let mask = self.config.word().six_t_mask();
+        if mask != 0 && self.ber > 0.0 {
+            let mut rng = self.rng.lock().expect("rng mutex poisoned");
+            for code in q.codes_mut() {
+                let mut flips = 0u8;
+                let mut bit = mask;
+                while bit != 0 {
+                    let lowest = bit & bit.wrapping_neg();
+                    if rng.gen::<f32>() < self.ber {
+                        flips |= lowest;
+                    }
+                    bit ^= lowest;
+                }
+                *code ^= flips;
+            }
+        }
+        q.dequantize()
+    }
+}
+
+impl Clone for BitErrorInjector {
+    fn clone(&self) -> Self {
+        BitErrorInjector {
+            config: self.config,
+            ber: self.ber,
+            seed: self.seed,
+            rng: Mutex::new(rng::seeded(self.seed)),
+        }
+    }
+}
+
+impl ActivationHook for BitErrorInjector {
+    fn apply(&self, x: &Tensor) -> Tensor {
+        self.corrupt(x)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "bit-error noise {} (ber {:.2e})",
+            self.config.describe(),
+            self.ber
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HybridWordConfig;
+
+    fn injector(eight_t: u8, six_t: u8, vdd: f32, seed: u64) -> BitErrorInjector {
+        let cfg =
+            HybridMemoryConfig::new(HybridWordConfig::new(eight_t, six_t).unwrap(), vdd).unwrap();
+        BitErrorInjector::new(cfg, &BitErrorModel::srinivasan22nm(), seed)
+    }
+
+    #[test]
+    fn noise_free_word_is_pure_quantization() {
+        let inj = injector(8, 0, 0.6, 1);
+        let x = ahw_tensor::rng::uniform(&[128], 0.0, 1.0, &mut ahw_tensor::rng::seeded(2));
+        let y = inj.corrupt(&x);
+        let q = ahw_tensor::quant::fake_quantize(&x, 8).unwrap();
+        assert_eq!(y, q);
+    }
+
+    #[test]
+    fn corruption_is_bounded_by_six_t_weights() {
+        // flips restricted to the 3 LSBs can change a code by at most 7
+        let inj = injector(5, 3, 0.55, 3);
+        let x = ahw_tensor::rng::uniform(&[512], 0.0, 1.0, &mut ahw_tensor::rng::seeded(4));
+        let y = inj.corrupt(&x);
+        let q = QTensor::quantize(&x, 8).unwrap();
+        let scale = q.params().scale;
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            // quantization error (≤ scale/2) + max flip magnitude (7 codes)
+            assert!((a - b).abs() <= scale * 7.5 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empirical_flip_rate_matches_ber() {
+        let inj = injector(0, 8, 0.6, 5);
+        let ber = inj.bit_error_rate();
+        assert!(ber > 0.01);
+        let n = 40_000usize;
+        let x = ahw_tensor::rng::uniform(&[n], 0.0, 1.0, &mut ahw_tensor::rng::seeded(6));
+        let before = QTensor::quantize(&x, 8).unwrap();
+        let y = inj.corrupt(&x);
+        let after = QTensor::quantize_with(&y, before.params());
+        let mut flipped_bits = 0usize;
+        for (a, b) in before.codes().iter().zip(after.codes()) {
+            flipped_bits += (a ^ b).count_ones() as usize;
+        }
+        let empirical = flipped_bits as f32 / (n * 8) as f32;
+        assert!(
+            (empirical - ber).abs() < ber * 0.15,
+            "empirical {empirical} vs ber {ber}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_noise_after_reset() {
+        let inj = injector(4, 4, 0.62, 7);
+        let x = ahw_tensor::rng::uniform(&[256], 0.0, 1.0, &mut ahw_tensor::rng::seeded(8));
+        let a = inj.corrupt(&x);
+        inj.reset();
+        let b = inj.corrupt(&x);
+        assert_eq!(a, b);
+        // without reset the stream advances
+        let c = inj.corrupt(&x);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn clone_restarts_from_seed() {
+        let inj = injector(4, 4, 0.62, 9);
+        let x = ahw_tensor::rng::uniform(&[64], 0.0, 1.0, &mut ahw_tensor::rng::seeded(10));
+        let a = inj.corrupt(&x);
+        let cloned = inj.clone();
+        assert_eq!(cloned.corrupt(&x), a);
+    }
+
+    #[test]
+    fn msb_protection_limits_damage() {
+        // same voltage: fewer 6T cells ⇒ smaller mean perturbation
+        let x = ahw_tensor::rng::uniform(&[4096], 0.0, 1.0, &mut ahw_tensor::rng::seeded(11));
+        let damage = |six_t: u8| {
+            let inj = injector(8 - six_t, six_t, 0.58, 12);
+            inj.corrupt(&x).sub(&x).unwrap().norm()
+        };
+        let d2 = damage(2);
+        let d6 = damage(6);
+        assert!(d6 > d2 * 2.0, "6T damage {d6} vs 2-LSB damage {d2}");
+    }
+
+    #[test]
+    fn hook_describe_mentions_config() {
+        let inj = injector(5, 3, 0.68, 13);
+        assert!(ActivationHook::describe(&inj).contains("5/3 @ 0.68V"));
+    }
+}

@@ -1,0 +1,158 @@
+/// Analytic 6T-SRAM bit-failure model as a function of supply voltage.
+///
+/// The paper characterizes a 22 nm predictive-technology 6T cell with static
+/// read / write noise margins of 195 mV / 250 mV and derives bit-error
+/// probabilities at scaled voltages following Srinivasan et al. (DATE 2016).
+/// SPICE is out of scope here, so we use the standard exponential
+/// voltage-acceleration fit for SRAM failure rates (failure probability
+/// decays exponentially with headroom above a margin-dependent collapse
+/// voltage), which reproduces the published shape: negligible errors near
+/// the 0.9 V nominal supply, ~10⁻² at 0.68 V, a few 10⁻² at 0.6 V.
+///
+/// Read failures (smaller margin) dominate; write failures contribute at the
+/// lowest voltages. Both mechanisms are exposed separately for ablations.
+///
+/// ```
+/// use ahw_sram::BitErrorModel;
+///
+/// let m = BitErrorModel::srinivasan22nm();
+/// assert!(m.bit_error_rate(0.6) > m.bit_error_rate(0.8));
+/// assert!(m.bit_error_rate(0.9) < 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitErrorModel {
+    /// Static read noise margin, millivolts.
+    read_margin_mv: f32,
+    /// Static write noise margin, millivolts.
+    write_margin_mv: f32,
+    /// Voltage at which a cell with the *reference* 195 mV margin reaches a
+    /// 50 % failure rate.
+    collapse_v: f32,
+    /// Exponential slope: volts of headroom per e-fold of failure-rate
+    /// reduction.
+    slope_v: f32,
+}
+
+impl BitErrorModel {
+    /// The 22 nm cell used throughout the paper: read margin 195 mV, write
+    /// margin 250 mV.
+    pub fn srinivasan22nm() -> Self {
+        BitErrorModel {
+            read_margin_mv: 195.0,
+            write_margin_mv: 250.0,
+            collapse_v: 0.50,
+            slope_v: 0.035,
+        }
+    }
+
+    /// A custom cell characterization.
+    ///
+    /// `collapse_v` is the voltage where a cell with `read_margin_mv` fails
+    /// half the time; `slope_v` is the exponential voltage-acceleration
+    /// constant.
+    pub fn new(read_margin_mv: f32, write_margin_mv: f32, collapse_v: f32, slope_v: f32) -> Self {
+        BitErrorModel {
+            read_margin_mv,
+            write_margin_mv,
+            collapse_v,
+            slope_v,
+        }
+    }
+
+    /// Read static noise margin in millivolts.
+    pub fn read_margin_mv(&self) -> f32 {
+        self.read_margin_mv
+    }
+
+    /// Write static noise margin in millivolts.
+    pub fn write_margin_mv(&self) -> f32 {
+        self.write_margin_mv
+    }
+
+    fn failure_prob(&self, vdd: f32, margin_mv: f32) -> f32 {
+        // a larger noise margin lowers the effective collapse voltage:
+        // 1 mV of extra margin buys 0.5 mV of headroom (empirical fit,
+        // anchored at the reference cell's 195 mV read margin)
+        const REFERENCE_MARGIN_MV: f32 = 195.0;
+        let collapse = self.collapse_v - (margin_mv - REFERENCE_MARGIN_MV) * 0.5e-3;
+        let headroom = vdd - collapse;
+        (0.5 * (-headroom / self.slope_v).exp()).clamp(0.0, 0.5)
+    }
+
+    /// Probability that a read of a 6T cell fails at `vdd`.
+    pub fn read_failure_prob(&self, vdd: f32) -> f32 {
+        self.failure_prob(vdd, self.read_margin_mv)
+    }
+
+    /// Probability that a write to a 6T cell fails at `vdd`.
+    pub fn write_failure_prob(&self, vdd: f32) -> f32 {
+        self.failure_prob(vdd, self.write_margin_mv)
+    }
+
+    /// Combined per-bit error rate at `vdd`: a stored bit is wrong if either
+    /// the write or the subsequent read failed.
+    pub fn bit_error_rate(&self, vdd: f32) -> f32 {
+        let r = self.read_failure_prob(vdd);
+        let w = self.write_failure_prob(vdd);
+        1.0 - (1.0 - r) * (1.0 - w)
+    }
+}
+
+impl Default for BitErrorModel {
+    fn default() -> Self {
+        Self::srinivasan22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_is_monotone_in_vdd() {
+        let m = BitErrorModel::srinivasan22nm();
+        let mut prev = f32::INFINITY;
+        for step in 0..=30 {
+            let vdd = 0.55 + step as f32 * 0.0125;
+            let p = m.bit_error_rate(vdd);
+            assert!(p <= prev, "ber not monotone at {vdd}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn calibration_endpoints() {
+        let m = BitErrorModel::srinivasan22nm();
+        // near-nominal: effectively error-free
+        assert!(m.bit_error_rate(0.9) < 1e-4);
+        // the paper's operating point: around a percent
+        let p = m.bit_error_rate(0.68);
+        assert!((1e-3..5e-2).contains(&p), "p(0.68V) = {p}");
+        // deep scaling: several percent
+        let p = m.bit_error_rate(0.60);
+        assert!((1e-2..0.2).contains(&p), "p(0.60V) = {p}");
+    }
+
+    #[test]
+    fn read_fails_more_than_write() {
+        // read margin (195 mV) < write margin (250 mV) ⇒ reads fail first
+        let m = BitErrorModel::srinivasan22nm();
+        for vdd in [0.6f32, 0.68, 0.75] {
+            assert!(m.read_failure_prob(vdd) > m.write_failure_prob(vdd));
+        }
+    }
+
+    #[test]
+    fn probability_saturates_at_half() {
+        let m = BitErrorModel::srinivasan22nm();
+        assert!(m.read_failure_prob(0.1) <= 0.5);
+    }
+
+    #[test]
+    fn custom_margin_shifts_curve() {
+        let weak = BitErrorModel::new(150.0, 250.0, 0.50, 0.035);
+        let strong = BitErrorModel::new(250.0, 300.0, 0.50, 0.035);
+        assert!(weak.bit_error_rate(0.7) > strong.bit_error_rate(0.7));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based validation of the SRAM bit-error substrate.
+
+use ahw_sram::{
+    energy, BitErrorInjector, BitErrorModel, HybridMemoryConfig, HybridWordConfig, WORD_BITS,
+};
+use ahw_tensor::rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit-error rate is a probability, monotone decreasing in voltage, for
+    /// any plausible cell characterization.
+    #[test]
+    fn ber_is_probability_and_monotone(
+        read_margin in 120.0f32..260.0,
+        write_delta in 0.0f32..120.0,
+        vdd in 0.55f32..0.95,
+    ) {
+        let m = BitErrorModel::new(read_margin, read_margin + write_delta, 0.50, 0.035);
+        let p = m.bit_error_rate(vdd);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(m.bit_error_rate(vdd + 0.02) <= p + 1e-9);
+    }
+
+    /// Write failures never exceed read failures when the write margin is
+    /// the larger one (as in every real 6T cell).
+    #[test]
+    fn write_protected_by_margin(
+        write_delta in 1.0f32..120.0,
+        vdd in 0.55f32..0.95,
+    ) {
+        let m = BitErrorModel::new(195.0, 195.0 + write_delta, 0.50, 0.035);
+        prop_assert!(m.write_failure_prob(vdd) <= m.read_failure_prob(vdd));
+    }
+
+    /// μ is linear in the bit-error rate for any word split.
+    #[test]
+    fn mu_linear_in_ber(six_t in 0u8..=WORD_BITS, ber in 0.0f32..0.5) {
+        let w = HybridWordConfig::new(WORD_BITS - six_t, six_t).unwrap();
+        let mu1 = w.mu(ber);
+        let mu2 = w.mu(ber * 2.0);
+        prop_assert!((mu2 - 2.0 * mu1).abs() < 1e-6);
+    }
+
+    /// The injector's empirical mean damage tracks analytic μ within 3×
+    /// sampling slack, for any operating point with measurable noise.
+    #[test]
+    fn empirical_damage_tracks_mu(six_t in 2u8..=WORD_BITS, seed in 0u64..100) {
+        let model = BitErrorModel::srinivasan22nm();
+        let cfg = HybridMemoryConfig::new(
+            HybridWordConfig::new(WORD_BITS - six_t, six_t).unwrap(),
+            0.58,
+        ).unwrap();
+        let mu = cfg.mu(&model);
+        prop_assume!(mu > 1e-4);
+        let injector = BitErrorInjector::new(cfg, &model, seed);
+        let x = rng::uniform(&[20_000], 0.0, 1.0, &mut rng::seeded(seed + 1));
+        let q = ahw_tensor::quant::fake_quantize(&x, 8).unwrap();
+        let out = injector.corrupt(&x);
+        let empirical: f32 = out
+            .sub(&q)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|d| d.abs())
+            .sum::<f32>() / x.len() as f32;
+        prop_assert!(
+            empirical > mu / 3.0 && empirical < mu * 3.0,
+            "empirical {} vs analytic {}", empirical, mu
+        );
+    }
+
+    /// Energy savings are monotone in both knobs: lower Vdd and more 6T
+    /// cells always save more.
+    #[test]
+    fn energy_monotone(six_t in 0u8..WORD_BITS, vdd in 0.55f32..0.90) {
+        let cfg = |s: u8, v: f32| {
+            HybridMemoryConfig::new(HybridWordConfig::new(WORD_BITS - s, s).unwrap(), v).unwrap()
+        };
+        let here = energy::relative_energy(&cfg(six_t, vdd));
+        prop_assert!(energy::relative_energy(&cfg(six_t + 1, vdd)) < here);
+        prop_assert!(energy::relative_energy(&cfg(six_t, vdd + 0.05)) > here);
+    }
+
+    /// The robustness/efficiency trade is coherent: any configuration with
+    /// non-zero μ also saves energy versus the protected baseline.
+    #[test]
+    fn noise_implies_savings(six_t in 1u8..=WORD_BITS, vdd in 0.55f32..0.85) {
+        let cfg = HybridMemoryConfig::new(
+            HybridWordConfig::new(WORD_BITS - six_t, six_t).unwrap(),
+            vdd,
+        ).unwrap();
+        let model = BitErrorModel::srinivasan22nm();
+        if cfg.mu(&model) > 0.0 {
+            prop_assert!(energy::savings_percent(&cfg) > 0.0);
+        }
+    }
+}

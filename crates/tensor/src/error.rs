@@ -1,0 +1,122 @@
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; shape data is owned so errors are `'static`, `Send` and `Sync`
+/// and compose with `Box<dyn Error + Send + Sync>` downstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the provided
+    /// buffer length.
+    LengthMismatch {
+        /// Elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// A tensor had the wrong rank (number of dimensions) for the operation.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor passed in.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index, one entry per dimension.
+        index: Vec<usize>,
+        /// The tensor's shape.
+        shape: Vec<usize>,
+    },
+    /// Serialization or deserialization failed (bad magic, truncated file,
+    /// unsupported version, I/O error text).
+    Io(String),
+    /// A numeric argument was outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::Io(msg) => write!(f, "tensor i/o error: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<std::io::Error> for TensorError {
+    fn from(err: std::io::Error) -> Self {
+        TensorError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "buffer length 3 does not match shape volume 4"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch_names_op() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: TensorError = io.into();
+        assert!(matches!(e, TensorError::Io(_)));
+    }
+}

@@ -1,0 +1,39 @@
+//! # ahw-tensor
+//!
+//! Dense `f32` N-dimensional tensors and the numeric kernels shared by every
+//! other crate in the `adversarial-hw` workspace: blocked matrix
+//! multiplication, `im2col` lowering for convolutions, reductions, fixed-point
+//! quantization, deterministic random initializers, and a small binary
+//! serialization format for model checkpoints.
+//!
+//! The design goal is a *predictable* substrate: tensors are always contiguous
+//! row-major buffers, every fallible public operation returns a
+//! [`Result<T, TensorError>`](TensorError), and nothing here depends on global
+//! state (all randomness flows through explicit [`rand::Rng`] values).
+//!
+//! ## Example
+//!
+//! ```
+//! use ahw_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), ahw_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod io;
+pub mod ops;
+pub mod quant;
+pub mod rng;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,618 @@
+//! Numeric kernels: blocked GEMM, `im2col`/`col2im` lowering, row-wise
+//! softmax utilities.
+//!
+//! These are the hot paths for both software inference/training and for the
+//! hardware models (the crossbar substrate lowers convolutions with the same
+//! `im2col` so that every dot-product flows through its tiled MVM).
+
+use crate::{Tensor, TensorError};
+
+/// Cache-blocking tile edge for the GEMM microkernel, in elements.
+const BLOCK: usize = 64;
+
+fn require_rank2(t: &Tensor, op: &'static str) -> Result<(), TensorError> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok(())
+}
+
+/// Blocked matrix multiplication `a (m×k) · b (k×n) -> (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless both operands are rank 2 and
+/// [`TensorError::ShapeMismatch`] if `a.cols != b.rows`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    require_rank2(a, "matmul")?;
+    require_rank2(b, "matmul")?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    // i-k-j loop order with k-blocking: streams through b rows, accumulates
+    // into the output row, and keeps the working set inside L1/L2.
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for i in 0..m {
+            let arow = &av[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let aik = arow[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bv[kk * n..(kk + 1) * n];
+                for (o, &bkj) in orow.iter_mut().zip(brow) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a (m×k) · bᵀ` where `b` is stored `(n×k)` — i.e. GEMM with the right-hand
+/// operand logically transposed, without materializing the transpose.
+///
+/// This is the layout the backward passes want (`dX = dY · Wᵀ` with `W`
+/// stored row-major as `(out, in)`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
+/// [`matmul`] does.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    require_rank2(a, "matmul_transb")?;
+    require_rank2(b, "matmul_transb")?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_transb",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `aᵀ (k×m → m as rows) · b` where `a` is stored `(k×m)` — GEMM with the
+/// left-hand operand logically transposed. Used by weight-gradient passes
+/// (`dW = dYᵀ · X`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
+/// [`matmul`] does.
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    require_rank2(a, "matmul_transa")?;
+    require_rank2(b, "matmul_transa")?;
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_transa",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for kk in 0..k {
+        let arow = &av[kk * m..(kk + 1) * m];
+        let brow = &bv[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let aki = arow[i];
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aki * bkj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Geometry of a 2-D convolution used by [`im2col`]/[`col2im`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square kernel edge.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output height after convolution.
+    pub fn out_height(&self) -> usize {
+        (self.height + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_width(&self) -> usize {
+        (self.width + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Number of rows in the lowered patch matrix (`C·K·K`).
+    pub fn patch_len(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+
+    /// Validates that the geometry produces at least one output position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for a kernel larger than the
+    /// padded input or a zero stride/kernel.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        if self.kernel == 0 || self.stride == 0 {
+            return Err(TensorError::InvalidArgument(
+                "kernel and stride must be non-zero".into(),
+            ));
+        }
+        if self.height + 2 * self.padding < self.kernel
+            || self.width + 2 * self.padding < self.kernel
+        {
+            return Err(TensorError::InvalidArgument(format!(
+                "kernel {} larger than padded input {}x{}",
+                self.kernel,
+                self.height + 2 * self.padding,
+                self.width + 2 * self.padding
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Lowers a `(C, H, W)` image to a `(C·K·K, OH·OW)` patch matrix so that
+/// convolution becomes a single GEMM with the `(OC, C·K·K)` weight matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not match the
+/// geometry, or [`TensorError::InvalidArgument`] for a degenerate geometry.
+pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
+    g.validate()?;
+    if input.dims() != [g.channels, g.height, g.width] {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: input.dims().to_vec(),
+            rhs: vec![g.channels, g.height, g.width],
+        });
+    }
+    let (oh, ow) = (g.out_height(), g.out_width());
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; g.patch_len() * cols];
+    let inp = input.as_slice();
+    let mut row = 0usize;
+    for c in 0..g.channels {
+        let plane = &inp[c * g.height * g.width..(c + 1) * g.height * g.width];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let orow = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy >= g.height as isize {
+                        continue;
+                    }
+                    let irow = &plane[iy as usize * g.width..(iy as usize + 1) * g.width];
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix >= 0 && ix < g.width as isize {
+                            orow[oy * ow + ox] = irow[ix as usize];
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[g.patch_len(), cols])
+}
+
+/// Scatters a `(C·K·K, OH·OW)` patch-gradient matrix back to a `(C, H, W)`
+/// image, accumulating overlapping contributions — the adjoint of [`im2col`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not match the
+/// geometry, or [`TensorError::InvalidArgument`] for a degenerate geometry.
+pub fn col2im(cols_t: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
+    g.validate()?;
+    let (oh, ow) = (g.out_height(), g.out_width());
+    let cols = oh * ow;
+    if cols_t.dims() != [g.patch_len(), cols] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols_t.dims().to_vec(),
+            rhs: vec![g.patch_len(), cols],
+        });
+    }
+    let mut out = vec![0.0f32; g.channels * g.height * g.width];
+    let cv = cols_t.as_slice();
+    let mut row = 0usize;
+    for c in 0..g.channels {
+        let plane = &mut out[c * g.height * g.width..(c + 1) * g.height * g.width];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let crow = &cv[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy >= g.height as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix >= 0 && ix < g.width as isize {
+                            plane[iy as usize * g.width + ix as usize] += crow[oy * ow + ox];
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[g.channels, g.height, g.width])
+}
+
+/// Numerically-stable row-wise softmax of a `(rows, cols)` matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 2.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
+    require_rank2(logits, "softmax_rows")?;
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.as_slice().to_vec();
+    for r in 0..rows {
+        let row = &mut out[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Mean cross-entropy of row-wise `logits` against integer `labels`, together
+/// with the gradient of that loss with respect to the logits.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax - onehot) / rows`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix logits or
+/// [`TensorError::InvalidArgument`] if `labels.len()` differs from the row
+/// count or a label is out of range.
+pub fn cross_entropy_with_grad(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), TensorError> {
+    require_rank2(logits, "cross_entropy")?;
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != rows {
+        return Err(TensorError::InvalidArgument(format!(
+            "{} labels for {} logit rows",
+            labels.len(),
+            rows
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= cols) {
+        return Err(TensorError::InvalidArgument(format!(
+            "label {bad} out of range for {cols} classes"
+        )));
+    }
+    let probs = softmax_rows(logits)?;
+    let pv = probs.as_slice();
+    let mut loss = 0.0f32;
+    let mut grad = pv.to_vec();
+    for (r, &label) in labels.iter().enumerate() {
+        let p = pv[r * cols + label].max(1e-12);
+        loss -= p.ln();
+        grad[r * cols + label] -= 1.0;
+    }
+    let inv = 1.0 / rows as f32;
+    for g in &mut grad {
+        *g *= inv;
+    }
+    Ok((loss * inv, Tensor::from_vec(grad, &[rows, cols])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.as_slice()[i * k + kk] * b.as_slice()[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).unwrap()
+    }
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        crate::rng::uniform(dims, -1.0, 1.0, &mut crate::rng::seeded(seed))
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_tensor(&[7, 13], 1);
+        let b = rand_tensor(&[13, 5], 2);
+        assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_blocked_large_k() {
+        // k spans multiple blocks.
+        let a = rand_tensor(&[3, 200], 3);
+        let b = rand_tensor(&[200, 4], 4);
+        assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let a = rand_tensor(&[4, 6], 5);
+        let b = rand_tensor(&[3, 6], 6);
+        let expect = matmul(&a, &b.transpose().unwrap()).unwrap();
+        assert_close(&matmul_transb(&a, &b).unwrap(), &expect, 1e-4);
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit_transpose() {
+        let a = rand_tensor(&[6, 4], 7);
+        let b = rand_tensor(&[6, 3], 8);
+        let expect = matmul(&a.transpose().unwrap(), &b).unwrap();
+        assert_close(&matmul_transa(&a, &b).unwrap(), &expect, 1e-4);
+    }
+
+    #[test]
+    fn conv_geometry_output_dims() {
+        let g = ConvGeometry {
+            channels: 3,
+            height: 32,
+            width: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        assert_eq!(g.out_height(), 32);
+        assert_eq!(g.out_width(), 32);
+        assert_eq!(g.patch_len(), 27);
+    }
+
+    #[test]
+    fn conv_geometry_validation() {
+        let g = ConvGeometry {
+            channels: 1,
+            height: 2,
+            width: 2,
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: im2col is a reshape.
+        let x = rand_tensor(&[2, 3, 3], 9);
+        let g = ConvGeometry {
+            channels: 2,
+            height: 3,
+            width: 3,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.dims(), &[2, 9]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let x = Tensor::ones(&[1, 2, 2]);
+        let g = ConvGeometry {
+            channels: 1,
+            height: 2,
+            width: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let cols = im2col(&x, &g).unwrap();
+        // top-left output position, kernel element (0,0) reads padded zero
+        assert_eq!(cols.at(&[0, 0]).unwrap(), 0.0);
+        // center kernel element always reads a real pixel
+        assert_eq!(cols.at(&[4, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // direct 2D convolution vs im2col+GEMM on a small case
+        let x = rand_tensor(&[2, 5, 5], 11);
+        let w = rand_tensor(&[3, 2 * 3 * 3], 12); // 3 output channels
+        let g = ConvGeometry {
+            channels: 2,
+            height: 5,
+            width: 5,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let cols = im2col(&x, &g).unwrap();
+        let y = matmul(&w, &cols).unwrap();
+        // direct computation for output channel 1, position (1,1)
+        let (oy, ox) = (1usize, 1usize);
+        let mut acc = 0.0f32;
+        for c in 0..2 {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let iy = (oy * 2 + ky) as isize - 1;
+                    let ix = (ox * 2 + kx) as isize - 1;
+                    if (0..5).contains(&iy) && (0..5).contains(&ix) {
+                        acc += x.at(&[c, iy as usize, ix as usize]).unwrap()
+                            * w.at(&[1, c * 9 + ky * 3 + kx]).unwrap();
+                    }
+                }
+            }
+        }
+        let got = y.at(&[1, oy * g.out_width() + ox]).unwrap();
+        assert!((acc - got).abs() < 1e-4, "{acc} vs {got}");
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), c> == <x, col2im(c)> for random x, c — the defining
+        // property of an adjoint pair, which backprop relies on.
+        let g = ConvGeometry {
+            channels: 2,
+            height: 4,
+            width: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let x = rand_tensor(&[2, 4, 4], 21);
+        let c = rand_tensor(&[g.patch_len(), g.out_height() * g.out_width()], 22);
+        let lhs: f32 = im2col(&x, &g)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(c.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(col2im(&c, &g).unwrap().as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let t = rand_tensor(&[4, 10], 31);
+        let s = softmax_rows(&t).unwrap();
+        for r in 0..4 {
+            let sum: f32 = s.as_slice()[r * 10..(r + 1) * 10].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(s.min() >= 0.0);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let shifted = t.map(|v| v + 100.0);
+        assert_close(
+            &softmax_rows(&t).unwrap(),
+            &softmax_rows(&shifted).unwrap(),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]).unwrap();
+        let (loss, _) = cross_entropy_with_grad(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = rand_tensor(&[2, 4], 41);
+        let labels = [3usize, 0];
+        let (_, grad) = cross_entropy_with_grad(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (lp, _) = cross_entropy_with_grad(&plus, &labels).unwrap();
+            let (lm, _) = cross_entropy_with_grad(&minus, &labels).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[idx]).abs() < 1e-3,
+                "idx {idx}: fd {fd} vs grad {}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy_with_grad(&logits, &[0]).is_err());
+        assert!(cross_entropy_with_grad(&logits, &[0, 3]).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Fixed-point quantization.
+//!
+//! The hybrid 8T-6T SRAM substrate stores activations as unsigned fixed-point
+//! words, so bit-error injection needs an explicit integer representation:
+//! [`QTensor`] holds the integer codes plus the affine [`QuantParams`]
+//! mapping them back to reals. The same machinery, at other bit-widths,
+//! implements the QUANOS and pixel-discretization defense baselines.
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Affine quantization parameters: `real = (code - zero_point) * scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real-valued size of one code step.
+    pub scale: f32,
+    /// Code representing real 0.0.
+    pub zero_point: i32,
+    /// Bits per code word (1..=8).
+    pub bits: u8,
+}
+
+impl QuantParams {
+    /// Derives parameters covering `[lo, hi]` with `bits`-wide codes.
+    ///
+    /// Degenerate ranges (`lo == hi`) get a unit scale so quantization stays
+    /// well-defined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `bits` is 0 or above 8,
+    /// or if `lo > hi` or either bound is non-finite.
+    pub fn from_range(lo: f32, hi: f32, bits: u8) -> Result<Self, TensorError> {
+        if bits == 0 || bits > 8 {
+            return Err(TensorError::InvalidArgument(format!(
+                "bits must be in 1..=8, got {bits}"
+            )));
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+            return Err(TensorError::InvalidArgument(format!(
+                "invalid quantization range [{lo}, {hi}]"
+            )));
+        }
+        let levels = (1u32 << bits) - 1;
+        let span = (hi - lo).max(f32::EPSILON);
+        let scale = span / levels as f32;
+        let zero_point = (-lo / scale).round() as i32;
+        Ok(QuantParams {
+            scale,
+            zero_point,
+            bits,
+        })
+    }
+
+    /// Derives parameters from the min/max of a tensor.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantParams::from_range`]; an empty tensor maps to range `[0, 0]`.
+    pub fn fit(t: &Tensor, bits: u8) -> Result<Self, TensorError> {
+        if t.is_empty() {
+            return Self::from_range(0.0, 0.0, bits);
+        }
+        Self::from_range(t.min().min(0.0), t.max().max(0.0), bits)
+    }
+
+    /// Largest representable code.
+    pub fn max_code(&self) -> u8 {
+        (((1u32 << self.bits) - 1) & 0xff) as u8
+    }
+
+    /// Quantizes one real value to a code (saturating).
+    pub fn quantize(&self, x: f32) -> u8 {
+        let q = (x / self.scale).round() as i64 + self.zero_point as i64;
+        q.clamp(0, self.max_code() as i64) as u8
+    }
+
+    /// Dequantizes one code to a real value.
+    pub fn dequantize(&self, code: u8) -> f32 {
+        (code as i32 - self.zero_point) as f32 * self.scale
+    }
+}
+
+/// A quantized tensor: integer codes plus the [`QuantParams`] to decode them.
+///
+/// ```
+/// use ahw_tensor::{Tensor, quant::QTensor};
+///
+/// # fn main() -> Result<(), ahw_tensor::TensorError> {
+/// let x = Tensor::from_slice(&[0.0, 0.5, 1.0]);
+/// let q = QTensor::quantize(&x, 8)?;
+/// let y = q.dequantize();
+/// for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+///     assert!((a - b).abs() <= q.params().scale);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    codes: Vec<u8>,
+    shape: Shape,
+    params: QuantParams,
+}
+
+impl QTensor {
+    /// Quantizes a tensor with range fitted to its contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an unsupported bit-width.
+    pub fn quantize(t: &Tensor, bits: u8) -> Result<Self, TensorError> {
+        let params = QuantParams::fit(t, bits)?;
+        Ok(Self::quantize_with(t, params))
+    }
+
+    /// Quantizes a tensor with caller-supplied parameters.
+    pub fn quantize_with(t: &Tensor, params: QuantParams) -> Self {
+        let codes = t.as_slice().iter().map(|&v| params.quantize(v)).collect();
+        QTensor {
+            codes,
+            shape: t.shape().clone(),
+            params,
+        }
+    }
+
+    /// Decodes back to reals.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self
+            .codes
+            .iter()
+            .map(|&c| self.params.dequantize(c))
+            .collect();
+        Tensor::from_vec(data, self.shape.dims()).expect("shape preserved")
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The raw code words.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Mutable access to the code words (bit-error injection writes here).
+    pub fn codes_mut(&mut self) -> &mut [u8] {
+        &mut self.codes
+    }
+}
+
+/// Quantize-dequantize round trip ("fake quantization"): returns `t` snapped
+/// to the `bits`-wide grid fitted to its range. This is the transform used by
+/// the pixel-discretization defense and QUANOS.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for an unsupported bit-width.
+pub fn fake_quantize(t: &Tensor, bits: u8) -> Result<Tensor, TensorError> {
+    Ok(QTensor::quantize(t, bits)?.dequantize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_bounded_by_scale() {
+        let x = crate::rng::uniform(&[257], -3.0, 5.0, &mut crate::rng::seeded(1));
+        let q = QTensor::quantize(&x, 8).unwrap();
+        let y = q.dequantize();
+        let half_step = q.params().scale * 0.5 + 1e-6;
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() <= half_step, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_maps_near_zero() {
+        let x = Tensor::from_slice(&[-1.0, 0.0, 1.0]);
+        let q = QTensor::quantize(&x, 8).unwrap();
+        let y = q.dequantize();
+        assert!(y.as_slice()[1].abs() <= q.params().scale);
+    }
+
+    #[test]
+    fn unsigned_range_uses_full_grid() {
+        let p = QuantParams::from_range(0.0, 255.0, 8).unwrap();
+        assert_eq!(p.quantize(0.0), 0);
+        assert_eq!(p.quantize(255.0), 255);
+        assert_eq!(p.zero_point, 0);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let p = QuantParams::from_range(0.0, 1.0, 4).unwrap();
+        assert_eq!(p.quantize(-10.0), 0);
+        assert_eq!(p.quantize(10.0), p.max_code());
+        assert_eq!(p.max_code(), 15);
+    }
+
+    #[test]
+    fn rejects_bad_bits() {
+        assert!(QuantParams::from_range(0.0, 1.0, 0).is_err());
+        assert!(QuantParams::from_range(0.0, 1.0, 9).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_range() {
+        assert!(QuantParams::from_range(1.0, 0.0, 8).is_err());
+        assert!(QuantParams::from_range(f32::NAN, 1.0, 8).is_err());
+    }
+
+    #[test]
+    fn degenerate_range_is_stable() {
+        let x = Tensor::full(&[4], 0.0);
+        let q = QTensor::quantize(&x, 8).unwrap();
+        let y = q.dequantize();
+        for v in y.as_slice() {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fake_quantize_is_idempotent() {
+        let x = crate::rng::uniform(&[64], 0.0, 1.0, &mut crate::rng::seeded(2));
+        let once = fake_quantize(&x, 4).unwrap();
+        let twice = fake_quantize(&once, 4).unwrap();
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fewer_bits_is_coarser() {
+        let x = crate::rng::uniform(&[512], 0.0, 1.0, &mut crate::rng::seeded(3));
+        let err = |bits| fake_quantize(&x, bits).unwrap().sub(&x).unwrap().norm();
+        assert!(err(2) > err(4));
+        assert!(err(4) > err(8));
+    }
+
+    #[test]
+    fn codes_mut_allows_bit_flips() {
+        let x = Tensor::from_slice(&[0.0, 1.0]);
+        let mut q = QTensor::quantize(&x, 8).unwrap();
+        q.codes_mut()[0] ^= 0x80; // flip MSB
+        let y = q.dequantize();
+        assert!((y.as_slice()[0] - 0.5).abs() < 0.01);
+    }
+}

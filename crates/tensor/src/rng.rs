@@ -1,0 +1,108 @@
+//! Deterministic random tensor constructors.
+//!
+//! Every stochastic component in the workspace (weight init, synthetic data,
+//! SRAM bit flips, crossbar process variation) draws from an explicitly
+//! seeded RNG created by [`seeded`], so experiments reproduce bit-for-bit.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the workspace-standard deterministic RNG from a seed.
+///
+/// ```
+/// let mut a = ahw_tensor::rng::seeded(7);
+/// let mut b = ahw_tensor::rng::seeded(7);
+/// use rand::Rng;
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims).expect("volume matches by construction")
+}
+
+/// Tensor with elements drawn from a normal distribution `N(mean, std²)`.
+///
+/// Uses the Box–Muller transform so only `rand`'s uniform sampler is needed.
+pub fn normal<R: Rng>(dims: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+    let n: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, dims).expect("volume matches by construction")
+}
+
+/// Kaiming/He-normal initialization for a weight tensor with `fan_in` inputs.
+///
+/// The standard choice for ReLU networks: `N(0, sqrt(2 / fan_in)²)`.
+pub fn kaiming<R: Rng>(dims: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(dims, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let a = uniform(&[100], 0.0, 1.0, &mut seeded(42));
+        let b = uniform(&[100], 0.0, 1.0, &mut seeded(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform(&[100], 0.0, 1.0, &mut seeded(1));
+        let b = uniform(&[100], 0.0, 1.0, &mut seeded(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform(&[1000], -2.0, 3.0, &mut seeded(3));
+        assert!(t.min() >= -2.0);
+        assert!(t.max() < 3.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let t = normal(&[20000], 1.5, 0.5, &mut seeded(4));
+        assert!((t.mean() - 1.5).abs() < 0.02);
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - t.mean()).powi(2))
+            .sum::<f32>()
+            / t.len() as f32;
+        assert!((var.sqrt() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let wide = kaiming(&[10000], 1000, &mut seeded(5));
+        let narrow = kaiming(&[10000], 10, &mut seeded(5));
+        assert!(narrow.norm() > wide.norm() * 5.0);
+    }
+
+    #[test]
+    fn odd_element_count_normal() {
+        // Box–Muller generates pairs; odd lengths must still fill exactly.
+        let t = normal(&[7], 0.0, 1.0, &mut seeded(6));
+        assert_eq!(t.len(), 7);
+    }
+}

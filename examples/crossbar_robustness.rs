@@ -1,0 +1,81 @@
+//! Crossbar robustness demo: map a trained network onto memristive
+//! crossbars of different sizes and device ranges, and watch the paper's
+//! three trends appear:
+//!
+//! 1. non-idealities cost a little clean accuracy,
+//! 2. but reduce Adversarial Loss versus the software baseline (SH/HH),
+//! 3. and both effects grow with array size and with smaller R_MIN.
+//!
+//! ```sh
+//! cargo run --release --example crossbar_robustness
+//! ```
+
+use adversarial_hw::prelude::*;
+use ahw_nn::train::{TrainConfig, Trainer};
+use ahw_tensor::rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticCifar::generate(&DatasetConfig::cifar10_like().with_sizes(800, 200));
+    let spec = archs::vgg8(10, 0.125, &mut rng::seeded(1))?;
+    let mut software = spec.model;
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 5,
+        verbose: true,
+        ..TrainConfig::default()
+    });
+    trainer.fit(
+        &mut software,
+        data.train().images(),
+        data.train().labels(),
+        &mut rng::seeded(2),
+    )?;
+    let (images, labels) = data.test().batch(0, data.test().len());
+    let attack = Attack::pgd(8.0 / 255.0);
+
+    let sw = evaluate_attack(&software, &software, &images, &labels, attack, 50)?;
+    println!("software baseline          : {sw}");
+
+    for size in [16usize, 32, 64] {
+        let (hardware, report) = crossbar_variant(&software, &CrossbarConfig::paper_default(size))?;
+        let sh = evaluate_mode(
+            &software,
+            &hardware,
+            AttackMode::Sh,
+            &images,
+            &labels,
+            attack,
+            50,
+        )?;
+        let hh = evaluate_mode(
+            &software,
+            &hardware,
+            AttackMode::Hh,
+            &images,
+            &labels,
+            attack,
+            50,
+        )?;
+        println!(
+            "crossbar {size:>2}x{size:<2} ({:>3} tiles): SH {sh}   HH {hh}",
+            report.tiles
+        );
+    }
+
+    // the R_MIN lever: lower ON resistance, stronger IR drop, more defense
+    for r_min in [20e3f32, 10e3] {
+        let mut config = CrossbarConfig::paper_default(32);
+        config.device = DeviceParams::with_r_min(r_min);
+        let (hardware, _) = crossbar_variant(&software, &config)?;
+        let sh = evaluate_mode(
+            &software,
+            &hardware,
+            AttackMode::Sh,
+            &images,
+            &labels,
+            attack,
+            50,
+        )?;
+        println!("32x32 @ R_MIN {:>4.0}k: SH {sh}", r_min / 1e3);
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Defense shoot-out: the paper's Fig. 8(b,c) comparison in miniature —
+//! crossbar non-idealities vs 4-bit input discretization vs QUANOS hybrid
+//! quantization, under both FGSM and PGD.
+//!
+//! ```sh
+//! cargo run --release --example defense_shootout
+//! ```
+
+use adversarial_hw::prelude::*;
+use ahw_defenses::{PixelDiscretization, Quanos};
+use ahw_nn::train::{TrainConfig, Trainer};
+use ahw_tensor::rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticCifar::generate(&DatasetConfig::cifar10_like().with_sizes(800, 200));
+    let spec = archs::vgg8(10, 0.125, &mut rng::seeded(11))?;
+    let mut software = spec.model;
+    Trainer::new(TrainConfig {
+        epochs: 5,
+        verbose: true,
+        ..TrainConfig::default()
+    })
+    .fit(
+        &mut software,
+        data.train().images(),
+        data.train().labels(),
+        &mut rng::seeded(12),
+    )?;
+    let (images, labels) = data.test().batch(0, data.test().len());
+
+    // build the three defended variants once
+    let (crossbar, _) = crossbar_variant(&software, &CrossbarConfig::paper_default(32))?;
+    let discretized = PixelDiscretization::new(4)?.defend(&software);
+    let (calib_x, calib_y) = data.test().batch(0, 50);
+    let (quanos, sensitivities) = Quanos::default().apply(&software, &calib_x, &calib_y)?;
+    println!("\nQUANOS bit allocation (layer: bits, higher ANS → fewer bits):");
+    for s in sensitivities.iter().filter(|s| s.ans > 0.0) {
+        println!(
+            "  layer {:>2} {:<22} ANS {:.3} -> {}b",
+            s.layer, s.describe, s.ans, s.bits
+        );
+    }
+
+    for (name, attack) in [
+        ("FGSM", Attack::fgsm(8.0 / 255.0)),
+        ("PGD", Attack::pgd(8.0 / 255.0)),
+    ] {
+        println!("\n{name} @ 8/255:");
+        let base = evaluate_attack(&software, &software, &images, &labels, attack, 50)?;
+        println!("  undefended          : {base}");
+        let xb = evaluate_mode(
+            &software,
+            &crossbar,
+            AttackMode::Sh,
+            &images,
+            &labels,
+            attack,
+            50,
+        )?;
+        println!("  crossbar 32x32 (SH) : {xb}");
+        let d = evaluate_attack(&discretized, &discretized, &images, &labels, attack, 50)?;
+        println!("  4b discretization   : {d}");
+        let q = evaluate_attack(&quanos, &quanos, &images, &labels, attack, 50)?;
+        println!("  QUANOS              : {q}");
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! SRAM noise explorer: walk the hybrid 8T-6T design space interactively —
+//! bit-error rates vs supply voltage, the μ(r, Vdd) surface of Fig. 2, the
+//! empirical noise an injector actually produces, and a single-site
+//! robustness probe on a small trained model.
+//!
+//! ```sh
+//! cargo run --release --example sram_noise_explorer
+//! ```
+
+use adversarial_hw::prelude::*;
+use ahw_nn::train::{TrainConfig, Trainer};
+use ahw_sram::mu_sweep;
+use ahw_tensor::rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = BitErrorModel::srinivasan22nm();
+
+    // 1. the raw cell behaviour
+    println!("6T cell bit-error rate vs supply voltage:");
+    for step in 0..=6 {
+        let vdd = 0.60 + step as f32 * 0.05;
+        println!(
+            "  Vdd {vdd:.2} V: read {:.3e}  write {:.3e}  combined {:.3e}",
+            model.read_failure_prob(vdd),
+            model.write_failure_prob(vdd),
+            model.bit_error_rate(vdd)
+        );
+    }
+
+    // 2. the Fig. 2 surface
+    let vdds = [0.60f32, 0.68, 0.75];
+    let (labels, rows) = mu_sweep(&model, &vdds);
+    println!("\nexpected surgical noise mu(r, Vdd):");
+    print!("  {:>6}", "r");
+    for v in vdds {
+        print!("  {v:>8.2}V");
+    }
+    println!();
+    for (label, row) in labels.iter().zip(&rows) {
+        print!("  {label:>6}");
+        for mu in row {
+            print!("  {mu:>9.5}");
+        }
+        println!();
+    }
+
+    // 3. analytic vs empirical μ for one operating point
+    let cfg = HybridMemoryConfig::new(HybridWordConfig::new(3, 5)?, 0.64)?;
+    let injector = BitErrorInjector::new(cfg, &model, 99);
+    let x = rng::uniform(&[100_000], 0.0, 1.0, &mut rng::seeded(1));
+    let corrupted = injector.corrupt(&x);
+    let quantized = ahw_tensor::quant::fake_quantize(&x, 8)?;
+    let empirical: f32 = corrupted
+        .sub(&quantized)?
+        .as_slice()
+        .iter()
+        .map(|d| d.abs())
+        .sum::<f32>()
+        / x.len() as f32;
+    println!(
+        "\nconfig {}: analytic mu {:.5}, empirical mu {:.5}",
+        cfg.describe(),
+        cfg.mu(&model),
+        empirical
+    );
+
+    // 4. does that noise defend a real model? single-site probe
+    let data = SyntheticCifar::generate(&DatasetConfig::cifar10_like().with_sizes(600, 150));
+    let spec = archs::vgg8(10, 0.125, &mut rng::seeded(3))?;
+    let mut net = spec.model.clone();
+    Trainer::new(TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    })
+    .fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &mut rng::seeded(4),
+    )?;
+    let trained = ahw_nn::archs::ModelSpec {
+        model: net.clone(),
+        ..spec
+    };
+    let (images, labels) = data.test().batch(0, data.test().len());
+    let attack = Attack::fgsm(0.1);
+    let baseline = evaluate_attack(&net, &net, &images, &labels, attack, 50)?;
+    println!("\nbaseline under FGSM(0.1): {baseline}");
+    for site in 0..3 {
+        let plan = NoisePlan {
+            vdd: 0.64,
+            sites: vec![PlannedSite {
+                site_index: site,
+                config: cfg,
+            }],
+        };
+        let noisy = apply_noise_plan(&trained, &plan, 7)?;
+        let outcome = evaluate_attack(&net, &noisy, &images, &labels, attack, 50)?;
+        println!(
+            "noise at site {site} ({}): {outcome}",
+            trained.sites[site].label
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+set -e
+BIN=target/release
+$BIN/exp_table1 "$@"   | tee results/table1.txt
+$BIN/exp_table2 "$@"   | tee results/table2.txt
+$BIN/exp_fig5   "$@"   | tee results/fig5.txt
+$BIN/exp_fig7   "$@"   | tee results/fig7.txt
+$BIN/exp_fig8bc "$@"   | tee results/fig8bc.txt
+$BIN/exp_ablations "$@" | tee results/ablations.txt
+echo "c100 rerun complete"

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates every paper table/figure at the default scale.
+# Outputs land in results/. Order matters: the table runs cache the
+# Fig. 4 plans that exp_fig5 reuses.
+set -e
+BIN=target/release
+$BIN/exp_fig2          | tee results/fig2.txt
+$BIN/exp_table1 "$@"   | tee results/table1.txt
+$BIN/exp_table2 "$@"   | tee results/table2.txt
+$BIN/exp_fig5   "$@"   | tee results/fig5.txt
+$BIN/exp_fig6   "$@"   | tee results/fig6.txt
+$BIN/exp_table3 "$@"   | tee results/table3.txt
+$BIN/exp_fig7   "$@"   | tee results/fig7.txt
+$BIN/exp_fig8a  "$@"   | tee results/fig8a.txt
+$BIN/exp_fig8bc "$@"   | tee results/fig8bc.txt
+$BIN/exp_ablations "$@" | tee results/ablations.txt
+echo "all experiments complete"

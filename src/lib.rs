@@ -1,0 +1,69 @@
+//! # adversarial-hw
+//!
+//! Umbrella crate for the workspace reproducing **“Efficiency-driven
+//! Hardware Optimization for Adversarially Robust Neural Networks”**
+//! (Bhattacharjee, Moitra, Panda — DATE 2021): intrinsic hardware noise —
+//! bit errors in voltage-scaled hybrid 8T-6T SRAM activation memories, and
+//! resistive non-idealities plus process variation in memristive crossbars —
+//! acts as gradient obfuscation and improves the adversarial robustness of
+//! the DNNs deployed on that hardware.
+//!
+//! Re-exports every sub-crate under one namespace; see the individual
+//! crates for detail:
+//!
+//! * [`tensor`] — dense `f32` tensors, GEMM/im2col, quantization, I/O
+//! * [`nn`] — layers, residual blocks, SGD training, VGG/ResNet builders
+//! * [`datasets`] — deterministic synthetic CIFAR-10/100 stand-ins
+//! * [`sram`] — the hybrid 8T-6T SRAM bit-error substrate
+//! * [`crossbar`] — the memristive-crossbar substrate (RxNN-style)
+//! * [`attacks`] — FGSM/PGD with the paper's SW/SH/HH evaluation modes
+//! * [`defenses`] — pixel discretization and QUANOS baselines
+//! * [`core`] — the Fig. 4 selection methodology and hardware-model
+//!   construction
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adversarial_hw::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // a hybrid memory operating point and its expected noise
+//! let cfg = HybridMemoryConfig::new(HybridWordConfig::new(5, 3)?, 0.68)?;
+//! let mu = cfg.mu(&BitErrorModel::srinivasan22nm());
+//! assert!(mu > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ahw_attacks as attacks;
+pub use ahw_core as core;
+pub use ahw_crossbar as crossbar;
+pub use ahw_datasets as datasets;
+pub use ahw_defenses as defenses;
+pub use ahw_nn as nn;
+pub use ahw_sram as sram;
+pub use ahw_tensor as tensor;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use ahw_attacks::{evaluate_attack, evaluate_mode, Attack, AttackMode, AttackOutcome};
+    pub use ahw_core::hardware::{apply_noise_plan, crossbar_variant, NoisePlan, PlannedSite};
+    pub use ahw_core::selection::{select_noise_sites, SelectionConfig};
+    pub use ahw_crossbar::{CrossbarConfig, DeviceParams, NonIdealities};
+    pub use ahw_datasets::{DatasetConfig, SyntheticCifar};
+    pub use ahw_nn::{archs, Mode, Sequential};
+    pub use ahw_sram::{BitErrorInjector, BitErrorModel, HybridMemoryConfig, HybridWordConfig};
+    pub use ahw_tensor::Tensor;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let word = HybridWordConfig::new(4, 4).unwrap();
+        assert_eq!(word.ratio_label(), "4/4");
+        let cfg = CrossbarConfig::paper_default(32);
+        assert_eq!(cfg.size, 32);
+    }
+}
