@@ -40,4 +40,6 @@ mod modes;
 
 pub use methods::{fgsm, pgd, random_noise, Attack};
 pub use metrics::AttackOutcome;
-pub use modes::{evaluate_attack, evaluate_mode, sweep_epsilons, AttackMode};
+pub use modes::{
+    evaluate_attack, evaluate_attack_sharded, evaluate_mode, sweep_epsilons, AttackMode,
+};

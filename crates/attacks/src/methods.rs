@@ -1,6 +1,6 @@
 use ahw_nn::{Mode, NnError, Sequential};
 use ahw_tensor::{rng, Tensor};
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 /// An adversarial attack specification.
 ///

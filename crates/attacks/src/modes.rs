@@ -29,10 +29,8 @@ impl AttackMode {
 }
 
 /// Attacks `eval_model` with perturbations crafted from `grad_model`'s loss,
-/// over `(images, labels)` in parallel batches of `batch`.
-///
-/// Per-batch attack RNG (PGD random starts) is seeded by batch index, so
-/// results are independent of thread scheduling.
+/// over `(images, labels)` in parallel batches of `batch`, using the default
+/// worker count ([`num_threads`], overridable via `AHW_THREADS`).
 ///
 /// # Errors
 ///
@@ -46,6 +44,38 @@ pub fn evaluate_attack(
     attack: Attack,
     batch: usize,
 ) -> Result<AttackOutcome, NnError> {
+    evaluate_attack_sharded(
+        grad_model,
+        eval_model,
+        images,
+        labels,
+        attack,
+        batch,
+        num_threads(),
+    )
+}
+
+/// [`evaluate_attack`] with an explicit worker count.
+///
+/// Batches are sharded round-robin over `workers` scoped threads. Per-batch
+/// attack RNG (PGD random starts) is derived from the batch index via the
+/// workspace stream-derivation scheme, and per-batch correct-prediction
+/// counts are integers, so the result is bit-identical for every worker
+/// count and independent of thread scheduling.
+///
+/// # Errors
+///
+/// As [`evaluate_attack`]; additionally rejects `workers == 0`.
+#[allow(clippy::too_many_arguments)] // one knob past the canonical signature
+pub fn evaluate_attack_sharded(
+    grad_model: &Sequential,
+    eval_model: &Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    attack: Attack,
+    batch: usize,
+    workers: usize,
+) -> Result<AttackOutcome, NnError> {
     let n = images.dims()[0];
     if labels.len() != n {
         return Err(NnError::BadConfig(format!(
@@ -56,56 +86,68 @@ pub fn evaluate_attack(
     if batch == 0 || n == 0 {
         return Err(NnError::BadConfig("empty dataset or zero batch".into()));
     }
+    if workers == 0 {
+        return Err(NnError::BadConfig("zero attack workers".into()));
+    }
     let item = images.len() / n;
     let chunks: Vec<(usize, usize)> = (0..n)
         .step_by(batch)
         .map(|lo| (lo, (lo + batch).min(n)))
         .collect();
-    let threads = num_threads().min(chunks.len()).max(1);
+    let threads = workers.min(chunks.len()).max(1);
     let xv = images.as_slice();
     let dims = images.dims();
 
-    let totals: Result<(usize, usize), NnError> = crossbeam::scope(|s| {
-        let mut handles = Vec::new();
-        for worker in 0..threads {
-            let chunks = &chunks;
-            handles.push(s.spawn(move |_| -> Result<(usize, usize), NnError> {
-                // each worker differentiates through its own clone
-                let mut grad = grad_model.clone();
-                let (mut clean_ok, mut adv_ok) = (0usize, 0usize);
-                for (ci, &(lo, hi)) in chunks.iter().enumerate() {
-                    if ci % threads != worker {
-                        continue;
-                    }
-                    let mut bd = dims.to_vec();
-                    bd[0] = hi - lo;
-                    let xb = Tensor::from_vec(xv[lo * item..hi * item].to_vec(), &bd)?;
-                    let yb = &labels[lo..hi];
-                    let mut rng = ahw_tensor::rng::seeded(0xA77AC4 ^ ci as u64);
-                    let adv = craft(&mut grad, &xb, yb, attack, &mut rng)?;
-                    let clean_preds = eval_model.predict(&xb)?;
-                    let adv_preds = eval_model.predict(&adv)?;
-                    clean_ok += clean_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
-                    adv_ok += adv_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
-                }
-                Ok((clean_ok, adv_ok))
-            }));
-        }
+    let shard = |worker: usize| -> Result<(usize, usize), NnError> {
+        // each worker differentiates through its own clone
+        let mut grad = grad_model.clone();
         let (mut clean_ok, mut adv_ok) = (0usize, 0usize);
-        for h in handles {
-            let (c, a) = h.join().expect("attack worker panicked")?;
-            clean_ok += c;
-            adv_ok += a;
+        for (ci, &(lo, hi)) in chunks.iter().enumerate() {
+            if ci % threads != worker {
+                continue;
+            }
+            let mut bd = dims.to_vec();
+            bd[0] = hi - lo;
+            let xb = Tensor::from_vec(xv[lo * item..hi * item].to_vec(), &bd)?;
+            let yb = &labels[lo..hi];
+            let mut rng = ahw_tensor::rng::stream(ATTACK_STREAM_SEED, ci as u64);
+            let adv = craft(&mut grad, &xb, yb, attack, &mut rng)?;
+            let clean_preds = eval_model.predict(&xb)?;
+            let adv_preds = eval_model.predict(&adv)?;
+            clean_ok += clean_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
+            adv_ok += adv_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
         }
         Ok((clean_ok, adv_ok))
-    })
-    .expect("attack scope panicked");
-    let (clean_ok, adv_ok) = totals?;
+    };
+
+    let (clean_ok, adv_ok) = if threads <= 1 {
+        shard(0)?
+    } else {
+        let totals: Vec<Result<(usize, usize), NnError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || shard(w))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("attack worker panicked"))
+                .collect()
+        });
+        let mut acc = (0usize, 0usize);
+        for t in totals {
+            let (c, a) = t?;
+            acc.0 += c;
+            acc.1 += a;
+        }
+        acc
+    };
     Ok(AttackOutcome {
         clean_accuracy: clean_ok as f32 / n as f32,
         adversarial_accuracy: adv_ok as f32 / n as f32,
     })
 }
+
+/// Base seed of the per-batch attack-crafting RNG streams. The stream for
+/// batch `i` is `rng::stream(ATTACK_STREAM_SEED, i)` regardless of how the
+/// batches are sharded over workers.
+const ATTACK_STREAM_SEED: u64 = 0xA77AC4;
 
 /// Runs one of the paper's modes given the software baseline and the
 /// hardware (noise-injected or crossbar-mapped) model.
@@ -303,6 +345,23 @@ mod tests {
         assert!(evaluate_attack(&model, &model, &x, &[0, 1], Attack::fgsm(0.1), 8).is_err());
         let y: Vec<usize> = (0..x.dims()[0]).map(|i| i % 2).collect();
         assert!(evaluate_attack(&model, &model, &x, &y, Attack::fgsm(0.1), 0).is_err());
+        assert!(
+            evaluate_attack_sharded(&model, &model, &x, &y, Attack::fgsm(0.1), 8, 0).is_err()
+        );
+    }
+
+    #[test]
+    fn result_is_invariant_to_worker_count() {
+        let (model, x, y) = trained_setup();
+        let outcomes: Vec<AttackOutcome> = [1usize, 2, 4, 7]
+            .iter()
+            .map(|&w| {
+                evaluate_attack_sharded(&model, &model, &x, &y, Attack::pgd(0.1), 8, w).unwrap()
+            })
+            .collect();
+        for o in &outcomes[1..] {
+            assert_eq!(*o, outcomes[0], "sharded result depends on worker count");
+        }
     }
 
     #[test]

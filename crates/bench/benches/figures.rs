@@ -1,21 +1,20 @@
-//! One Criterion bench per paper table/figure, exercising the same code the
+//! One benchmark per paper table/figure, exercising the same code the
 //! `exp_*` binaries run, at [`Scale::tiny`] and with trained checkpoints and
 //! selection plans pre-cached so each iteration measures the *experiment*
 //! cost, not training. The binaries produce the paper-scale numbers; these
 //! benches track regeneration cost and double as end-to-end smoke tests.
+//! Runs on the std-only harness ([`ahw_bench::harness`]).
 
 use ahw_bench::experiments::{
     crossbar_mode_sweep, defense_comparison_on, fig2_mu_sweep, fig5_al_sweep, r_min_study,
     store_plan, table3_size_study,
 };
+use ahw_bench::harness::{black_box, Harness};
 use ahw_bench::{cache_dir, Scale};
 use ahw_core::hardware::{NoisePlan, PlannedSite};
 use ahw_core::selection::{select_noise_sites, SelectionConfig};
 use ahw_core::zoo::ArchId;
 use ahw_sram::{HybridMemoryConfig, HybridWordConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
 
 fn tiny() -> Scale {
     Scale::tiny()
@@ -35,22 +34,18 @@ fn seed_plan(arch: ArchId, classes: usize) {
     store_plan(&cache_dir(), &key, &plan).ok();
 }
 
-fn short(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(5));
-}
-
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2_mu_sweep", |b| {
-        b.iter(|| fig2_mu_sweep(black_box(&[0.6, 0.65, 0.7, 0.75, 0.8])));
+fn bench_fig2(h: &mut Harness) {
+    h.bench("fig2_mu_sweep", || {
+        black_box(fig2_mu_sweep(black_box(&[0.6, 0.65, 0.7, 0.75, 0.8])));
     });
 }
 
-fn bench_tables_1_2(c: &mut Criterion) {
+fn bench_tables_1_2(h: &mut Harness) {
     // the table experiments are dominated by the Fig. 4 search; bench one
     // single-threshold search over VGG8's 9 sites with a 16-image probe
+    if !h.matches("tables_1_2/fig4_search_vgg8_tiny") {
+        return;
+    }
     let spec = ArchId::Vgg8.build(4, tiny().width, 1).unwrap();
     let images =
         ahw_tensor::rng::uniform(&[16, 3, 32, 32], 0.0, 1.0, &mut ahw_tensor::rng::seeded(2));
@@ -61,61 +56,46 @@ fn bench_tables_1_2(c: &mut Criterion) {
         search_subset: 16,
         ..SelectionConfig::default()
     };
-    let mut group = c.benchmark_group("tables_1_2");
-    short(&mut group);
-    group.bench_function("fig4_search_vgg8_tiny", |b| {
-        b.iter(|| select_noise_sites(&spec, &images, &labels, &config).unwrap());
+    h.bench("tables_1_2/fig4_search_vgg8_tiny", || {
+        black_box(select_noise_sites(&spec, &images, &labels, &config).unwrap());
     });
-    group.finish();
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5(h: &mut Harness) {
     seed_plan(ArchId::Vgg19, 4);
-    let mut group = c.benchmark_group("fig5");
-    short(&mut group);
-    group.bench_function("fig5_vgg19_tiny", |b| {
-        b.iter(|| fig5_al_sweep(ArchId::Vgg19, 4, &tiny()).unwrap());
+    h.bench("fig5/fig5_vgg19_tiny", || {
+        black_box(fig5_al_sweep(ArchId::Vgg19, 4, &tiny()).unwrap());
     });
-    group.finish();
 }
 
-fn bench_fig6_fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_fig7");
-    short(&mut group);
-    group.bench_function("fig6_vgg8_tiny", |b| {
-        b.iter(|| crossbar_mode_sweep(ArchId::Vgg8, 4, &[16], &tiny()).unwrap());
+fn bench_fig6_fig7(h: &mut Harness) {
+    h.bench("fig6_fig7/fig6_vgg8_tiny", || {
+        black_box(crossbar_mode_sweep(ArchId::Vgg8, 4, &[16], &tiny()).unwrap());
     });
-    group.finish();
 }
 
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    short(&mut group);
-    group.bench_function("table3_tiny", |b| {
-        b.iter(|| table3_size_study(&tiny()).unwrap());
+fn bench_table3(h: &mut Harness) {
+    h.bench("table3/table3_tiny", || {
+        black_box(table3_size_study(&tiny()).unwrap());
     });
-    group.finish();
 }
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8");
-    short(&mut group);
-    group.bench_function("fig8a_rmin_tiny", |b| {
-        b.iter(|| r_min_study(&tiny(), 8.0 / 255.0).unwrap());
+fn bench_fig8(h: &mut Harness) {
+    h.bench("fig8/fig8a_rmin_tiny", || {
+        black_box(r_min_study(&tiny(), 8.0 / 255.0).unwrap());
     });
-    group.bench_function("fig8bc_defenses_tiny", |b| {
-        b.iter(|| defense_comparison_on(ArchId::Vgg8, 4, &tiny(), 8.0 / 255.0).unwrap());
+    h.bench("fig8/fig8bc_defenses_tiny", || {
+        black_box(defense_comparison_on(ArchId::Vgg8, 4, &tiny(), 8.0 / 255.0).unwrap());
     });
-    group.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_fig2,
-    bench_tables_1_2,
-    bench_fig5,
-    bench_fig6_fig7,
-    bench_table3,
-    bench_fig8
-);
-criterion_main!(figures);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_fig2(&mut h);
+    bench_tables_1_2(&mut h);
+    bench_fig5(&mut h);
+    bench_fig6_fig7(&mut h);
+    bench_table3(&mut h);
+    bench_fig8(&mut h);
+    h.finish();
+}

@@ -1,7 +1,9 @@
-//! Criterion benchmarks for the hardware-simulation kernels: the hot paths
-//! behind every experiment (GEMM, im2col convolution, mesh solvers, bit-error
-//! injection, attack crafting).
+//! Benchmarks for the hardware-simulation kernels: the hot paths behind
+//! every experiment (GEMM, im2col convolution, mesh solvers, bit-error
+//! injection, attack crafting). Runs on the std-only harness
+//! ([`ahw_bench::harness`]); see that module for filters and env knobs.
 
+use ahw_bench::harness::{black_box, Harness};
 use ahw_crossbar::{
     extract_effective_conductance, CrossbarConfig, NonIdealities, SolverKind, TiledMatrix,
 };
@@ -9,52 +11,32 @@ use ahw_nn::layers::Conv2d;
 use ahw_nn::{Layer, Mode, Sequential};
 use ahw_sram::{BitErrorInjector, BitErrorModel, HybridMemoryConfig, HybridWordConfig};
 use ahw_tensor::{ops, rng};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
 
-/// Bounds every group so a single-core full-workspace `cargo bench` stays
-/// in minutes: 10 samples, short measurement windows.
-fn short(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-}
-
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
-    short(&mut group);
+fn bench_matmul(h: &mut Harness) {
     for n in [32usize, 128] {
         let a = rng::uniform(&[n, n], -1.0, 1.0, &mut rng::seeded(1));
         let b = rng::uniform(&[n, n], -1.0, 1.0, &mut rng::seeded(2));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap());
+        h.bench(&format!("matmul/{n}"), || {
+            black_box(ops::matmul(black_box(&a), black_box(&b)).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_conv_forward(c: &mut Criterion) {
+fn bench_conv_forward(h: &mut Harness) {
     let mut rng_ = rng::seeded(3);
     let conv = Conv2d::new(16, 32, 3, 1, 1, &mut rng_).unwrap();
     let x = rng::normal(&[4, 16, 32, 32], 0.0, 1.0, &mut rng_);
-    let mut group = c.benchmark_group("conv2d");
-    short(&mut group);
-    group.bench_function("forward_4x16x32x32", |b| {
-        b.iter(|| conv.forward_infer(black_box(&x)).unwrap());
+    h.bench("conv2d/forward_4x16x32x32", || {
+        black_box(conv.forward_infer(black_box(&x)).unwrap());
     });
-    group.finish();
 }
 
-fn bench_mesh_solvers(c: &mut Criterion) {
+fn bench_mesh_solvers(h: &mut Harness) {
     let ni = NonIdealities::paper_default();
-    let mut group = c.benchmark_group("mesh_solver");
-    short(&mut group);
     for k in [16usize, 32, 64] {
         let g = rng::uniform(&[k * k], 5e-6, 5e-5, &mut rng::seeded(4)).into_vec();
-        group.bench_with_input(BenchmarkId::new("relaxation", k), &k, |bench, &k| {
-            bench.iter(|| {
+        h.bench(&format!("mesh_solver/relaxation/{k}"), || {
+            black_box(
                 extract_effective_conductance(
                     black_box(&g),
                     k,
@@ -62,49 +44,42 @@ fn bench_mesh_solvers(c: &mut Criterion) {
                     &ni,
                     SolverKind::Relaxation { sweeps: 15 },
                 )
-                .unwrap()
-            });
+                .unwrap(),
+            );
         });
         if k <= 16 {
-            group.bench_with_input(BenchmarkId::new("exact", k), &k, |bench, &k| {
-                bench.iter(|| {
+            h.bench(&format!("mesh_solver/exact/{k}"), || {
+                black_box(
                     extract_effective_conductance(black_box(&g), k, k, &ni, SolverKind::Exact)
-                        .unwrap()
-                });
+                        .unwrap(),
+                );
             });
         }
     }
-    group.finish();
 }
 
-fn bench_crossbar_programming(c: &mut Criterion) {
+fn bench_crossbar_programming(h: &mut Harness) {
     let w = rng::uniform(&[64, 256], -1.0, 1.0, &mut rng::seeded(5));
     let cfg = CrossbarConfig::paper_default(32);
-    let mut group = c.benchmark_group("crossbar");
-    short(&mut group);
-    group.bench_function("program_64x256_on_32x32_tiles", |b| {
-        b.iter(|| {
+    h.bench("crossbar/program_64x256_on_32x32_tiles", || {
+        black_box(
             TiledMatrix::program(black_box(&w), &cfg, &mut rng::seeded(6))
                 .unwrap()
-                .effective_weight()
-        });
+                .effective_weight(),
+        );
     });
-    group.finish();
 }
 
-fn bench_bit_error_injection(c: &mut Criterion) {
+fn bench_bit_error_injection(h: &mut Harness) {
     let cfg = HybridMemoryConfig::new(HybridWordConfig::new(4, 4).unwrap(), 0.62).unwrap();
     let inj = BitErrorInjector::new(cfg, &BitErrorModel::srinivasan22nm(), 7);
     let x = rng::uniform(&[16 * 32 * 32], 0.0, 1.0, &mut rng::seeded(8));
-    let mut group = c.benchmark_group("sram");
-    short(&mut group);
-    group.bench_function("bit_error_injection_16k", |b| {
-        b.iter(|| inj.corrupt(black_box(&x)));
+    h.bench("sram/bit_error_injection_16k", || {
+        black_box(inj.corrupt(black_box(&x)));
     });
-    group.finish();
 }
 
-fn bench_fgsm(c: &mut Criterion) {
+fn bench_fgsm(h: &mut Harness) {
     let mut rng_ = rng::seeded(9);
     let mut model = Sequential::new();
     model.push(Conv2d::new(3, 8, 3, 1, 1, &mut rng_).unwrap());
@@ -112,22 +87,19 @@ fn bench_fgsm(c: &mut Criterion) {
     model.push(ahw_nn::layers::Linear::new(8 * 16 * 16, 10, &mut rng_).unwrap());
     let x = rng::uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng_);
     let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
-    let mut group = c.benchmark_group("attacks");
-    short(&mut group);
-    group.bench_function("fgsm_batch8", |b| {
-        b.iter(|| ahw_attacks::fgsm(black_box(&mut model), black_box(&x), &labels, 0.05).unwrap());
+    h.bench("attacks/fgsm_batch8", || {
+        black_box(ahw_attacks::fgsm(black_box(&mut model), black_box(&x), &labels, 0.05).unwrap());
     });
-    group.finish();
     let _ = model.forward(&x, Mode::Eval);
 }
 
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_conv_forward,
-    bench_mesh_solvers,
-    bench_crossbar_programming,
-    bench_bit_error_injection,
-    bench_fgsm
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_matmul(&mut h);
+    bench_conv_forward(&mut h);
+    bench_mesh_solvers(&mut h);
+    bench_crossbar_programming(&mut h);
+    bench_bit_error_injection(&mut h);
+    bench_fgsm(&mut h);
+    h.finish();
+}

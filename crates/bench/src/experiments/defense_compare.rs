@@ -35,7 +35,7 @@ pub fn defense_comparison(scale: &Scale, epsilon: f32) -> Result<Vec<DefenseRow>
 }
 
 /// As [`defense_comparison`] on an arbitrary architecture/dataset pair
-/// (used by tests and the miniature Criterion benches).
+/// (used by tests and the miniature benches).
 ///
 /// # Errors
 ///

@@ -1,6 +1,6 @@
 //! Parameterized experiment implementations, one per paper artifact.
 //!
-//! Binaries print the returned rows; the `figures` Criterion bench runs
+//! Binaries print the returned rows; the `figures` bench runs
 //! miniature versions of the same functions.
 
 mod ablations;

@@ -1,11 +1,11 @@
 //! # ahw-bench
 //!
 //! Regenerators for every table and figure in the paper's evaluation,
-//! plus the Criterion benchmarks for the hardware kernels.
+//! plus std-only benchmarks for the hardware kernels (see [`harness`]).
 //!
 //! Each experiment lives in [`experiments`] as a parameterized function
 //! returning structured rows; the `exp_*` binaries print them paper-style
-//! and the `figures` Criterion bench exercises miniature versions. Scale
+//! and the `figures` bench exercises miniature versions. Scale
 //! knobs (`--quick`, `--width`, …) are shared through [`Scale`] / [`Args`].
 //!
 //! | Binary | Paper artifact |
@@ -21,6 +21,7 @@
 //! | `exp_fig8bc` | Fig. 8(b,c) — defense comparison |
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 use ahw_core::zoo::{ArchId, ZooConfig};
@@ -29,7 +30,7 @@ use ahw_nn::train::TrainConfig;
 use std::path::PathBuf;
 
 /// Experiment sizing: the same experiments run at paper scale, quick scale
-/// (CI-friendly), or tiny scale (Criterion / unit tests).
+/// (CI-friendly), or tiny scale (benches / unit tests).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scale {
     /// Channel-width multiplier for the networks (see `ahw_nn::archs`).
@@ -86,7 +87,7 @@ impl Scale {
         }
     }
 
-    /// Miniature scale for Criterion benches and tests.
+    /// Miniature scale for benches and tests.
     pub fn tiny() -> Self {
         Scale {
             width: 0.0625,

@@ -12,7 +12,7 @@
 use crate::{Calibration, CrossbarConfig, CrossbarError, TiledMatrix};
 use ahw_nn::Sequential;
 use ahw_tensor::Tensor;
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 /// Applies the configured ADC-gain calibration: rescales `effective` so its
 /// least-squares projection onto `target` has unit gain (per layer or per

@@ -3,7 +3,7 @@
 
 use crate::{extract_effective_conductance, CrossbarConfig, CrossbarError};
 use ahw_tensor::{Tensor, TensorError};
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 /// One programmed `K×K` (or smaller, at matrix edges) crossbar array pair.
 ///

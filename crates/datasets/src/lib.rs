@@ -30,7 +30,7 @@
 //! ```
 
 use ahw_tensor::{rng, Tensor};
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 /// Configuration for [`SyntheticCifar::generate`].
 #[derive(Debug, Clone, PartialEq)]
@@ -183,17 +183,17 @@ impl ClassProto {
             {
                 components.push((
                     channel,
-                    amp * rng.gen_range(0.6..1.4),
-                    rng.gen_range(freq_lo..freq_hi) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 },
-                    rng.gen_range(freq_lo..freq_hi) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 },
+                    amp * rng.gen_range(0.6f32..1.4),
+                    rng.gen_range(freq_lo..freq_hi) * if rng.gen_bool(0.5) { -1.0f32 } else { 1.0 },
+                    rng.gen_range(freq_lo..freq_hi) * if rng.gen_bool(0.5) { -1.0f32 } else { 1.0 },
                     rng.gen_range(0.0..std::f32::consts::TAU),
                 ));
             }
         }
         let offsets = [
-            rng.gen_range(0.35..0.65),
-            rng.gen_range(0.35..0.65),
-            rng.gen_range(0.35..0.65),
+            rng.gen_range(0.35f32..0.65),
+            rng.gen_range(0.35f32..0.65),
+            rng.gen_range(0.35f32..0.65),
         ];
         ClassProto {
             components,
@@ -267,7 +267,7 @@ impl SyntheticCifar {
             labels.push(label);
             let dx = rng_.gen_range(-shift..=shift);
             let dy = rng_.gen_range(-shift..=shift);
-            let amp = rng_.gen_range(0.8..1.2);
+            let amp = rng_.gen_range(0.8f32..1.2);
             protos[label].render(size, dx, dy, amp, chunk);
             // blend in a competing class so samples sit near real decision
             // boundaries (otherwise the task saturates and gradients vanish)

@@ -9,8 +9,7 @@
 use ahw_nn::train::Trainer;
 use ahw_nn::{Mode, NnError, Sequential};
 use ahw_tensor::{ops, Tensor};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 /// Configuration for [`adversarial_fit`].
 #[derive(Debug, Clone, PartialEq)]
@@ -68,7 +67,7 @@ pub fn adversarial_fit<R: Rng>(
     let mut order: Vec<usize> = (0..n).collect();
     let mut losses = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
-        order.shuffle(rng);
+        rng.shuffle(&mut order);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(config.batch_size) {

@@ -4,8 +4,7 @@
 
 use crate::{NnError, Sequential};
 use ahw_tensor::{ops, Tensor};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 /// Hyper-parameters for [`AdamTrainer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -123,7 +122,7 @@ impl AdamTrainer {
         let mut order: Vec<usize> = (0..n).collect();
         let mut last_epoch_loss = 0.0f32;
         for epoch in 0..self.config.epochs {
-            order.shuffle(rng);
+            rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {

@@ -13,7 +13,7 @@ use crate::layer::HookSlot;
 use crate::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU};
 use crate::sequential::{Sequential, Site};
 use crate::NnError;
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 /// What kind of activation memory a noise site represents — the row labels
 /// of the paper's Tables I and II.

@@ -2,7 +2,7 @@ use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::{NnError, Param};
 use ahw_tensor::ops;
 use ahw_tensor::{rng, Tensor};
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 use std::sync::Arc;
 
 /// Fully-connected layer: `y = x · Wᵀ + b` over `(N, in_features)` inputs.

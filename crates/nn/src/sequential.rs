@@ -329,14 +329,14 @@ impl Sequential {
             .map(|lo| (lo, (lo + batch).min(n)))
             .collect();
         let threads = num_threads().min(chunks.len()).max(1);
-        let correct: Result<usize, NnError> = crossbeam::scope(|s| {
+        let correct: Result<usize, NnError> = std::thread::scope(|s| {
             let mut handles = Vec::new();
             for worker in 0..threads {
                 let chunks = &chunks;
                 let model = &*self;
                 let xv = images.as_slice();
                 let dims = images.dims();
-                handles.push(s.spawn(move |_| -> Result<usize, NnError> {
+                handles.push(s.spawn(move || -> Result<usize, NnError> {
                     let mut correct = 0usize;
                     for (ci, &(lo, hi)) in chunks.iter().enumerate() {
                         if ci % threads != worker {
@@ -360,8 +360,7 @@ impl Sequential {
                 total += h.join().expect("worker panicked")?;
             }
             Ok(total)
-        })
-        .expect("scope panicked");
+        });
         Ok(correct? as f32 / n as f32)
     }
 }

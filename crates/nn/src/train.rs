@@ -2,8 +2,7 @@
 
 use crate::{Mode, NnError, Sequential};
 use ahw_tensor::{ops, Tensor};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 /// Hyper-parameters for [`Trainer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -134,7 +133,7 @@ impl Trainer {
         let mut order: Vec<usize> = (0..n).collect();
         let mut stats = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
-            order.shuffle(rng);
+            rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f64;
             let mut correct = 0usize;
             let mut batches = 0usize;

@@ -1,11 +1,19 @@
-//! Batch-level parallelism helpers built on `crossbeam` scoped threads.
+//! Batch-level parallelism helpers built on `std::thread::scope`.
 //!
 //! The convolution and linear layers dominate both training and hardware
 //! simulation time; they parallelize over batch items with these utilities
-//! (the offline crate set has no rayon).
+//! (the workspace is std-only — no rayon, no crossbeam).
 
 /// Number of worker threads to use for batch parallelism.
+///
+/// Defaults to the machine's available parallelism; override with the
+/// `AHW_THREADS` environment variable (values below 1 are treated as 1).
 pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("AHW_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -36,7 +44,7 @@ where
         return;
     }
     let per = n.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = out;
         let mut start = 0usize;
         while !rest.is_empty() {
@@ -46,14 +54,14 @@ where
             let first = start;
             start += take / item_len;
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (j, chunk) in head.chunks_mut(item_len).enumerate() {
                     f(first + j, chunk);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+        // scope joins all workers on exit and propagates panics
+    });
 }
 
 /// Maps `f` over `0..n` on worker threads and reduces the per-thread partial
@@ -81,7 +89,7 @@ where
         return acc;
     }
     let per = n.div_ceil(threads);
-    let mut parts: Vec<(usize, A)> = crossbeam::scope(|s| {
+    let mut parts: Vec<(usize, A)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * per;
@@ -91,7 +99,7 @@ where
             }
             let f = &f;
             let init = &init;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut acc = init();
                 for i in lo..hi {
                     f(i, &mut acc);
@@ -103,8 +111,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
-    })
-    .expect("worker thread panicked");
+    });
     parts.sort_by_key(|(t, _)| *t);
     let mut iter = parts.into_iter().map(|(_, a)| a);
     let first = iter.next().expect("at least one partition");

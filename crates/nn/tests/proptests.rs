@@ -1,11 +1,11 @@
 //! Property-based tests for the NN framework: gradient correctness over
 //! randomized layer configurations, hook straight-through semantics, and
-//! shape algebra.
+//! shape algebra. Runs on the in-house harness ([`ahw_tensor::check`]).
 
 use ahw_nn::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU};
 use ahw_nn::{ActivationHook, HookSlot, Layer, Mode, Sequential};
+use ahw_tensor::check::{self, ensure};
 use ahw_tensor::{rng, Tensor};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 /// Directional finite-difference check: <dy, J·v> ≈ (L(x+εv) − L(x−εv))/2ε
@@ -40,111 +40,142 @@ fn directional_gradcheck(layer: &mut dyn Layer, x: &Tensor, seed: u64) -> (f32, 
     (analytic, (lp - lm) / (2.0 * eps))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Conv2d input gradients pass a directional finite-difference check for
-    /// arbitrary channel counts, strides and paddings.
-    #[test]
-    fn conv_gradcheck(
-        in_ch in 1usize..4,
-        out_ch in 1usize..4,
-        stride in 1usize..3,
-        padding in 0usize..2,
-        seed in 0u64..200,
-    ) {
+/// Conv2d input gradients pass a directional finite-difference check for
+/// arbitrary channel counts, strides and paddings.
+#[test]
+fn conv_gradcheck() {
+    check::cases(24).run("conv_gradcheck", |g| {
+        let in_ch = g.usize_in("in_ch", 1, 4);
+        let out_ch = g.usize_in("out_ch", 1, 4);
+        let stride = g.usize_in("stride", 1, 3);
+        let padding = g.usize_in("padding", 0, 2);
+        let seed = g.u64_in("seed", 0, 200);
         let mut r = rng::seeded(seed);
         let mut conv = Conv2d::new(in_ch, out_ch, 3, stride, padding, &mut r).unwrap();
         let size = 7usize;
-        prop_assume!(size + 2 * padding >= 3);
         let x = rng::normal(&[2, in_ch, size, size], 0.0, 1.0, &mut r);
         let (analytic, fd) = directional_gradcheck(&mut conv, &x, seed + 1);
         let scale = analytic.abs().max(fd.abs()).max(1.0);
-        prop_assert!((analytic - fd).abs() / scale < 0.05, "{analytic} vs {fd}");
-    }
+        ensure(
+            (analytic - fd).abs() / scale < 0.05,
+            format!("{analytic} vs {fd}"),
+        )
+    });
+}
 
-    /// Linear gradients pass the same check for arbitrary widths.
-    #[test]
-    fn linear_gradcheck(
-        inf in 1usize..12,
-        outf in 1usize..12,
-        seed in 0u64..200,
-    ) {
+/// Linear gradients pass the same check for arbitrary widths.
+#[test]
+fn linear_gradcheck() {
+    check::cases(24).run("linear_gradcheck", |g| {
+        let inf = g.usize_in("inf", 1, 12);
+        let outf = g.usize_in("outf", 1, 12);
+        let seed = g.u64_in("seed", 0, 200);
         let mut r = rng::seeded(seed);
         let mut lin = Linear::new(inf, outf, &mut r).unwrap();
         let x = rng::normal(&[3, inf], 0.0, 1.0, &mut r);
         let (analytic, fd) = directional_gradcheck(&mut lin, &x, seed + 1);
         let scale = analytic.abs().max(fd.abs()).max(1.0);
-        prop_assert!((analytic - fd).abs() / scale < 0.03, "{analytic} vs {fd}");
-    }
+        ensure(
+            (analytic - fd).abs() / scale < 0.03,
+            format!("{analytic} vs {fd}"),
+        )
+    });
+}
 
-    /// Average pooling gradients are exact for any window configuration.
-    #[test]
-    fn avgpool_gradcheck(k in 1usize..4, stride in 1usize..3, seed in 0u64..200) {
+/// Average pooling gradients are exact for any window configuration.
+#[test]
+fn avgpool_gradcheck() {
+    check::cases(24).run("avgpool_gradcheck", |g| {
+        let k = g.usize_in("k", 1, 4);
+        let stride = g.usize_in("stride", 1, 3);
+        let seed = g.u64_in("seed", 0, 200);
         let mut pool = AvgPool2d::new(k, stride);
         let x = rng::normal(&[1, 2, 6, 6], 0.0, 1.0, &mut rng::seeded(seed));
         let (analytic, fd) = directional_gradcheck(&mut pool, &x, seed + 1);
-        prop_assert!((analytic - fd).abs() < 0.05, "{analytic} vs {fd}");
-    }
+        ensure((analytic - fd).abs() < 0.05, format!("{analytic} vs {fd}"))
+    });
+}
 
-    /// Max pooling backward routes exactly the incoming gradient mass.
-    #[test]
-    fn maxpool_conserves_gradient_mass(k in 1usize..3, seed in 0u64..200) {
+/// Max pooling backward routes exactly the incoming gradient mass.
+#[test]
+fn maxpool_conserves_gradient_mass() {
+    check::cases(24).run("maxpool_conserves_gradient_mass", |g| {
+        let k = g.usize_in("k", 1, 3);
+        let seed = g.u64_in("seed", 0, 200);
         let mut pool = MaxPool2d::new(k + 1, k + 1);
         let x = rng::normal(&[1, 1, 8, 8], 0.0, 1.0, &mut rng::seeded(seed));
         let y = pool.forward(&x, Mode::Eval).unwrap();
         let dy = rng::uniform(y.dims(), 0.0, 1.0, &mut rng::seeded(seed + 1));
         let dx = pool.backward(&dy).unwrap();
-        prop_assert!((dx.sum() - dy.sum()).abs() < 1e-4);
-    }
+        ensure(
+            (dx.sum() - dy.sum()).abs() < 1e-4,
+            format!("gradient mass {} vs {}", dx.sum(), dy.sum()),
+        )
+    });
+}
 
-    /// Batch-norm in eval mode is affine: f(a·x) − f(0)·(1−a) scales.
-    #[test]
-    fn batchnorm_eval_is_affine(seed in 0u64..200, alpha in 0.5f32..2.0) {
+/// Batch-norm in eval mode is affine: f(a·x) = a·f(x) + (1−a)·f(0).
+#[test]
+fn batchnorm_eval_is_affine() {
+    check::cases(24).run("batchnorm_eval_is_affine", |g| {
+        let seed = g.u64_in("seed", 0, 200);
+        let alpha = g.f32_in("alpha", 0.5, 2.0);
         let bn = BatchNorm2d::new(2);
         let x = rng::normal(&[1, 2, 3, 3], 0.0, 1.0, &mut rng::seeded(seed));
         let zero = Tensor::zeros(x.dims());
         let f_x = bn.forward_infer(&x).unwrap();
         let f_ax = bn.forward_infer(&x.scale(alpha)).unwrap();
         let f_0 = bn.forward_infer(&zero).unwrap();
-        // affine: f(a x) = a f(x) + (1-a) f(0)
         for i in 0..f_x.len() {
             let expect = alpha * f_x.as_slice()[i] + (1.0 - alpha) * f_0.as_slice()[i];
-            prop_assert!((f_ax.as_slice()[i] - expect).abs() < 1e-3);
+            ensure(
+                (f_ax.as_slice()[i] - expect).abs() < 1e-3,
+                format!("element {i}: {} vs {expect}", f_ax.as_slice()[i]),
+            )?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Hooks transform forward outputs but never the backward path.
-    #[test]
-    fn hooks_are_straight_through(seed in 0u64..200) {
+/// Hooks transform forward outputs but never the backward path.
+#[test]
+fn hooks_are_straight_through() {
+    check::cases(24).run("hooks_are_straight_through", |g| {
         struct Dampen;
         impl ActivationHook for Dampen {
             fn apply(&self, x: &Tensor) -> Tensor {
                 x.scale(0.5)
             }
         }
+        let seed = g.u64_in("seed", 0, 200);
         let mut r = rng::seeded(seed);
         let x = rng::normal(&[2, 4], 0.0, 1.0, &mut r);
         let dy = rng::normal(&[2, 3], 0.0, 1.0, &mut r);
 
         let mut plain = Linear::new(4, 3, &mut rng::seeded(seed + 1)).unwrap();
         let mut hooked = Linear::new(4, 3, &mut rng::seeded(seed + 1)).unwrap();
-        hooked.set_hook(HookSlot::Output, Some(Arc::new(Dampen))).unwrap();
+        hooked
+            .set_hook(HookSlot::Output, Some(Arc::new(Dampen)))
+            .unwrap();
 
         let y_plain = plain.forward(&x, Mode::Eval).unwrap();
         let y_hooked = hooked.forward(&x, Mode::Eval).unwrap();
         for (a, b) in y_plain.as_slice().iter().zip(y_hooked.as_slice()) {
-            prop_assert!((a * 0.5 - b).abs() < 1e-5);
+            ensure((a * 0.5 - b).abs() < 1e-5, format!("{a} vs {b}"))?;
         }
         // identical backward results despite the hook
         let dx_plain = plain.backward(&dy).unwrap();
         let dx_hooked = hooked.backward(&dy).unwrap();
-        prop_assert_eq!(dx_plain, dx_hooked);
-    }
+        ensure(dx_plain == dx_hooked, "hook altered the backward path")
+    });
+}
 
-    /// A full model's forward shape survives any mix of layers.
-    #[test]
-    fn sequential_shape_algebra(channels in 1usize..5, seed in 0u64..100) {
+/// A full model's forward shape survives any mix of layers.
+#[test]
+fn sequential_shape_algebra() {
+    check::cases(24).run("sequential_shape_algebra", |g| {
+        let channels = g.usize_in("channels", 1, 5);
+        let seed = g.u64_in("seed", 0, 100);
         let mut r = rng::seeded(seed);
         let mut m = Sequential::new();
         m.push(Conv2d::new(3, channels, 3, 1, 1, &mut r).unwrap());
@@ -155,8 +186,11 @@ proptest! {
         m.push(Linear::new(channels * 4 * 4, 7, &mut r).unwrap());
         let x = rng::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut r);
         let y = m.forward(&x, Mode::Train).unwrap();
-        prop_assert_eq!(y.dims(), &[2, 7]);
+        ensure(y.dims() == [2, 7], format!("forward dims {:?}", y.dims()))?;
         let dx = m.backward(&Tensor::ones(&[2, 7])).unwrap();
-        prop_assert_eq!(dx.dims(), x.dims());
-    }
+        ensure(
+            dx.dims() == x.dims(),
+            format!("backward dims {:?} vs {:?}", dx.dims(), x.dims()),
+        )
+    });
 }

@@ -1,10 +1,8 @@
 use crate::{BitErrorModel, HybridMemoryConfig};
 use ahw_nn::ActivationHook;
 use ahw_tensor::quant::QTensor;
-use ahw_tensor::{rng, Tensor};
-use rand::rngs::StdRng;
-use rand::Rng;
-use std::sync::Mutex;
+use ahw_tensor::rng::{self, Rng};
+use ahw_tensor::Tensor;
 
 /// Which memory a hybrid configuration corrupts. The paper finds activation
 /// memories give larger robustness gains than parameter memories (§III-A);
@@ -27,15 +25,16 @@ pub enum NoiseTarget {
 /// words are dequantized.
 ///
 /// Implements [`ahw_nn::ActivationHook`], so it can be installed at any
-/// noise site of a model. Sampling state lives behind a mutex (hooks are
-/// shared during parallel evaluation); the sequence is deterministic given
-/// the constructor seed.
-#[derive(Debug)]
+/// noise site of a model. The injector holds no mutable state: the noise is
+/// a pure function of the constructor seed and the stored word pattern
+/// (the codes are hashed into an [`rng::stream`] id), so hooks shared
+/// across parallel evaluation workers corrupt identically regardless of
+/// call order or thread scheduling.
+#[derive(Debug, Clone, Copy)]
 pub struct BitErrorInjector {
     config: HybridMemoryConfig,
     ber: f32,
     seed: u64,
-    rng: Mutex<StdRng>,
 }
 
 impl BitErrorInjector {
@@ -45,7 +44,6 @@ impl BitErrorInjector {
             config,
             ber: config.bit_error_rate(model),
             seed,
-            rng: Mutex::new(rng::seeded(seed)),
         }
     }
 
@@ -57,12 +55,6 @@ impl BitErrorInjector {
     /// The per-bit error rate in effect.
     pub fn bit_error_rate(&self) -> f32 {
         self.ber
-    }
-
-    /// Resets the stochastic state to the constructor seed (so repeated
-    /// evaluations see identical noise).
-    pub fn reset(&self) {
-        *self.rng.lock().expect("rng mutex poisoned") = rng::seeded(self.seed);
     }
 
     /// One store/load round trip through the hybrid memory.
@@ -78,13 +70,20 @@ impl BitErrorInjector {
         };
         let mask = self.config.word().six_t_mask();
         if mask != 0 && self.ber > 0.0 {
-            let mut rng = self.rng.lock().expect("rng mutex poisoned");
+            // FNV-1a over the stored words picks the noise stream, so equal
+            // contents always see equal noise and parallel evaluation is
+            // scheduling-invariant.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for code in q.codes() {
+                h = (h ^ u64::from(*code)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut rng = rng::stream(self.seed, h);
             for code in q.codes_mut() {
                 let mut flips = 0u8;
                 let mut bit = mask;
                 while bit != 0 {
                     let lowest = bit & bit.wrapping_neg();
-                    if rng.gen::<f32>() < self.ber {
+                    if rng.next_f32() < self.ber {
                         flips |= lowest;
                     }
                     bit ^= lowest;
@@ -93,17 +92,6 @@ impl BitErrorInjector {
             }
         }
         q.dequantize()
-    }
-}
-
-impl Clone for BitErrorInjector {
-    fn clone(&self) -> Self {
-        BitErrorInjector {
-            config: self.config,
-            ber: self.ber,
-            seed: self.seed,
-            rng: Mutex::new(rng::seeded(self.seed)),
-        }
     }
 }
 
@@ -177,25 +165,28 @@ mod tests {
     }
 
     #[test]
-    fn same_seed_same_noise_after_reset() {
+    fn noise_is_pure_in_seed_and_content() {
         let inj = injector(4, 4, 0.62, 7);
         let x = ahw_tensor::rng::uniform(&[256], 0.0, 1.0, &mut ahw_tensor::rng::seeded(8));
+        // repeated corruption of the same words is identical — no hidden
+        // stream state, so parallel call order cannot matter
         let a = inj.corrupt(&x);
-        inj.reset();
         let b = inj.corrupt(&x);
         assert_eq!(a, b);
-        // without reset the stream advances
-        let c = inj.corrupt(&x);
+        // a different seed draws different noise
+        let c = injector(4, 4, 0.62, 70).corrupt(&x);
         assert_ne!(b, c);
+        // different contents draw different noise streams
+        let y = ahw_tensor::rng::uniform(&[256], 0.0, 1.0, &mut ahw_tensor::rng::seeded(9));
+        assert_ne!(inj.corrupt(&y).sub(&y).unwrap(), a.sub(&x).unwrap());
     }
 
     #[test]
-    fn clone_restarts_from_seed() {
+    fn clone_corrupts_identically() {
         let inj = injector(4, 4, 0.62, 9);
         let x = ahw_tensor::rng::uniform(&[64], 0.0, 1.0, &mut ahw_tensor::rng::seeded(10));
         let a = inj.corrupt(&x);
-        let cloned = inj.clone();
-        assert_eq!(cloned.corrupt(&x), a);
+        assert_eq!(inj.clone().corrupt(&x), a);
     }
 
     #[test]

@@ -1,59 +1,76 @@
-//! Property-based validation of the SRAM bit-error substrate.
+//! Property-based validation of the SRAM bit-error substrate, running on
+//! the in-house deterministic harness ([`ahw_tensor::check`]).
 
 use ahw_sram::{
     energy, BitErrorInjector, BitErrorModel, HybridMemoryConfig, HybridWordConfig, WORD_BITS,
 };
+use ahw_tensor::check::{self, assume, ensure};
 use ahw_tensor::rng;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Bit-error rate is a probability, monotone decreasing in voltage, for
-    /// any plausible cell characterization.
-    #[test]
-    fn ber_is_probability_and_monotone(
-        read_margin in 120.0f32..260.0,
-        write_delta in 0.0f32..120.0,
-        vdd in 0.55f32..0.95,
-    ) {
+/// Bit-error rate is a probability, monotone decreasing in voltage, for
+/// any plausible cell characterization.
+#[test]
+fn ber_is_probability_and_monotone() {
+    check::cases(64).run("ber_is_probability_and_monotone", |g| {
+        let read_margin = g.f32_in("read_margin", 120.0, 260.0);
+        let write_delta = g.f32_in("write_delta", 0.0, 120.0);
+        let vdd = g.f32_in("vdd", 0.55, 0.95);
         let m = BitErrorModel::new(read_margin, read_margin + write_delta, 0.50, 0.035);
         let p = m.bit_error_rate(vdd);
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!(m.bit_error_rate(vdd + 0.02) <= p + 1e-9);
-    }
+        ensure((0.0..=1.0).contains(&p), format!("ber {p} not in [0, 1]"))?;
+        ensure(
+            m.bit_error_rate(vdd + 0.02) <= p + 1e-9,
+            "ber increased with voltage",
+        )
+    });
+}
 
-    /// Write failures never exceed read failures when the write margin is
-    /// the larger one (as in every real 6T cell).
-    #[test]
-    fn write_protected_by_margin(
-        write_delta in 1.0f32..120.0,
-        vdd in 0.55f32..0.95,
-    ) {
+/// Write failures never exceed read failures when the write margin is
+/// the larger one (as in every real 6T cell).
+#[test]
+fn write_protected_by_margin() {
+    check::cases(64).run("write_protected_by_margin", |g| {
+        let write_delta = g.f32_in("write_delta", 1.0, 120.0);
+        let vdd = g.f32_in("vdd", 0.55, 0.95);
         let m = BitErrorModel::new(195.0, 195.0 + write_delta, 0.50, 0.035);
-        prop_assert!(m.write_failure_prob(vdd) <= m.read_failure_prob(vdd));
-    }
+        ensure(
+            m.write_failure_prob(vdd) <= m.read_failure_prob(vdd),
+            "write failure exceeded read failure",
+        )
+    });
+}
 
-    /// μ is linear in the bit-error rate for any word split.
-    #[test]
-    fn mu_linear_in_ber(six_t in 0u8..=WORD_BITS, ber in 0.0f32..0.5) {
+/// μ is linear in the bit-error rate for any word split.
+#[test]
+fn mu_linear_in_ber() {
+    check::cases(64).run("mu_linear_in_ber", |g| {
+        let six_t = g.u8_in("six_t", 0, WORD_BITS);
+        let ber = g.f32_in("ber", 0.0, 0.5);
         let w = HybridWordConfig::new(WORD_BITS - six_t, six_t).unwrap();
         let mu1 = w.mu(ber);
         let mu2 = w.mu(ber * 2.0);
-        prop_assert!((mu2 - 2.0 * mu1).abs() < 1e-6);
-    }
+        ensure(
+            (mu2 - 2.0 * mu1).abs() < 1e-6,
+            format!("mu(2·ber) = {mu2} vs 2·mu(ber) = {}", 2.0 * mu1),
+        )
+    });
+}
 
-    /// The injector's empirical mean damage tracks analytic μ within 3×
-    /// sampling slack, for any operating point with measurable noise.
-    #[test]
-    fn empirical_damage_tracks_mu(six_t in 2u8..=WORD_BITS, seed in 0u64..100) {
+/// The injector's empirical mean damage tracks analytic μ within 3×
+/// sampling slack, for any operating point with measurable noise.
+#[test]
+fn empirical_damage_tracks_mu() {
+    check::cases(64).run("empirical_damage_tracks_mu", |g| {
+        let six_t = g.u8_in("six_t", 2, WORD_BITS);
+        let seed = g.u64_in("seed", 0, 100);
         let model = BitErrorModel::srinivasan22nm();
         let cfg = HybridMemoryConfig::new(
             HybridWordConfig::new(WORD_BITS - six_t, six_t).unwrap(),
             0.58,
-        ).unwrap();
+        )
+        .unwrap();
         let mu = cfg.mu(&model);
-        prop_assume!(mu > 1e-4);
+        assume(mu > 1e-4)?;
         let injector = BitErrorInjector::new(cfg, &model, seed);
         let x = rng::uniform(&[20_000], 0.0, 1.0, &mut rng::seeded(seed + 1));
         let q = ahw_tensor::quant::fake_quantize(&x, 8).unwrap();
@@ -64,36 +81,56 @@ proptest! {
             .as_slice()
             .iter()
             .map(|d| d.abs())
-            .sum::<f32>() / x.len() as f32;
-        prop_assert!(
+            .sum::<f32>()
+            / x.len() as f32;
+        ensure(
             empirical > mu / 3.0 && empirical < mu * 3.0,
-            "empirical {} vs analytic {}", empirical, mu
-        );
-    }
+            format!("empirical {empirical} vs analytic {mu}"),
+        )
+    });
+}
 
-    /// Energy savings are monotone in both knobs: lower Vdd and more 6T
-    /// cells always save more.
-    #[test]
-    fn energy_monotone(six_t in 0u8..WORD_BITS, vdd in 0.55f32..0.90) {
+/// Energy savings are monotone in both knobs: lower Vdd and more 6T
+/// cells always save more.
+#[test]
+fn energy_monotone() {
+    check::cases(64).run("energy_monotone", |g| {
+        let six_t = g.u8_in("six_t", 0, WORD_BITS - 1);
+        let vdd = g.f32_in("vdd", 0.55, 0.90);
         let cfg = |s: u8, v: f32| {
             HybridMemoryConfig::new(HybridWordConfig::new(WORD_BITS - s, s).unwrap(), v).unwrap()
         };
         let here = energy::relative_energy(&cfg(six_t, vdd));
-        prop_assert!(energy::relative_energy(&cfg(six_t + 1, vdd)) < here);
-        prop_assert!(energy::relative_energy(&cfg(six_t, vdd + 0.05)) > here);
-    }
+        ensure(
+            energy::relative_energy(&cfg(six_t + 1, vdd)) < here,
+            "more 6T cells did not save energy",
+        )?;
+        ensure(
+            energy::relative_energy(&cfg(six_t, vdd + 0.05)) > here,
+            "higher Vdd did not cost energy",
+        )
+    });
+}
 
-    /// The robustness/efficiency trade is coherent: any configuration with
-    /// non-zero μ also saves energy versus the protected baseline.
-    #[test]
-    fn noise_implies_savings(six_t in 1u8..=WORD_BITS, vdd in 0.55f32..0.85) {
+/// The robustness/efficiency trade is coherent: any configuration with
+/// non-zero μ also saves energy versus the protected baseline.
+#[test]
+fn noise_implies_savings() {
+    check::cases(64).run("noise_implies_savings", |g| {
+        let six_t = g.u8_in("six_t", 1, WORD_BITS);
+        let vdd = g.f32_in("vdd", 0.55, 0.85);
         let cfg = HybridMemoryConfig::new(
             HybridWordConfig::new(WORD_BITS - six_t, six_t).unwrap(),
             vdd,
-        ).unwrap();
+        )
+        .unwrap();
         let model = BitErrorModel::srinivasan22nm();
         if cfg.mu(&model) > 0.0 {
-            prop_assert!(energy::savings_percent(&cfg) > 0.0);
+            ensure(
+                energy::savings_percent(&cfg) > 0.0,
+                "noisy configuration saved no energy",
+            )?;
         }
-    }
+        Ok(())
+    });
 }

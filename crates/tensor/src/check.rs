@@ -1,0 +1,302 @@
+//! A small deterministic property-testing harness (std-only).
+//!
+//! Replaces `proptest` for the workspace: each property runs a fixed number
+//! of seeded cases; every drawn value is recorded with a label, so a failing
+//! case reports a complete, copy-pastable counterexample instead of
+//! shrinking. Case generation is deterministic — the same binary always
+//! tests the same inputs — which keeps CI reproducible and lets a failure
+//! be re-run in isolation.
+//!
+//! ```
+//! use ahw_tensor::check;
+//!
+//! check::cases(32).run("addition_commutes", |g| {
+//!     let a = g.i64_in("a", -1000, 1000);
+//!     let b = g.i64_in("b", -1000, 1000);
+//!     check::ensure(a + b == b + a, "sum mismatch")
+//! });
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `AHW_CHECK_CASES` — override the per-property case count.
+//! * `AHW_CHECK_SEED`  — override the base seed (default 0).
+//! * `AHW_CHECK_CASE_SEED` — run exactly one case with this derived seed
+//!   (printed in every failure report) to reproduce a failure in isolation.
+
+use crate::rng::{stream, Rng, Xoshiro256};
+
+/// The result of one property case: `Ok(())`, a failure message, or an
+/// explicit discard (the case's preconditions did not hold).
+pub type CaseResult = Result<(), Failure>;
+
+/// Why a case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// The property was falsified.
+    Falsified(String),
+    /// The case's assumptions did not hold; it is skipped, not failed.
+    Discarded,
+}
+
+impl<S: Into<String>> From<S> for Failure {
+    fn from(msg: S) -> Self {
+        Failure::Falsified(msg.into())
+    }
+}
+
+/// Fails the property with `msg` unless `cond` holds.
+pub fn ensure(cond: bool, msg: impl Into<String>) -> CaseResult {
+    if cond {
+        Ok(())
+    } else {
+        Err(Failure::Falsified(msg.into()))
+    }
+}
+
+/// Discards the case (without failing) unless the precondition holds —
+/// the equivalent of proptest's `prop_assume!`.
+pub fn assume(cond: bool) -> CaseResult {
+    if cond {
+        Ok(())
+    } else {
+        Err(Failure::Discarded)
+    }
+}
+
+/// Entry point: a runner that executes `n` seeded cases per property.
+pub fn cases(n: usize) -> Runner {
+    Runner {
+        cases: n,
+        base_seed: 0,
+    }
+}
+
+/// Executes seeded cases of a property and reports counterexamples.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    cases: usize,
+    base_seed: u64,
+}
+
+impl Runner {
+    /// Overrides the base seed (default 0; `AHW_CHECK_SEED` wins over both).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Runs the property over all cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a full counterexample report on the first falsified case.
+    pub fn run(&self, name: &str, mut property: impl FnMut(&mut Gen) -> CaseResult) {
+        let env_u64 = |key: &str| std::env::var(key).ok().and_then(|v| v.parse::<u64>().ok());
+        if let Some(case_seed) = env_u64("AHW_CHECK_CASE_SEED") {
+            Self::run_case(name, 0, case_seed, &mut property);
+            return;
+        }
+        let cases = env_u64("AHW_CHECK_CASES")
+            .map(|v| v as usize)
+            .unwrap_or(self.cases);
+        let base = env_u64("AHW_CHECK_SEED").unwrap_or(self.base_seed);
+        let mut discarded = 0usize;
+        for idx in 0..cases {
+            let case_seed = stream(base, idx as u64).next_u64();
+            if !Self::run_case(name, idx, case_seed, &mut property) {
+                discarded += 1;
+            }
+        }
+        assert!(
+            discarded < cases.max(1),
+            "property '{name}': every one of the {cases} cases was discarded — \
+             the assumptions are unsatisfiable"
+        );
+    }
+
+    /// Runs one case; returns `false` if it was discarded.
+    fn run_case(
+        name: &str,
+        idx: usize,
+        case_seed: u64,
+        property: &mut impl FnMut(&mut Gen) -> CaseResult,
+    ) -> bool {
+        let mut g = Gen {
+            rng: Xoshiro256::seed_from_u64(case_seed),
+            trace: Vec::new(),
+        };
+        match property(&mut g) {
+            Ok(()) => true,
+            Err(Failure::Discarded) => false,
+            Err(Failure::Falsified(msg)) => {
+                let mut report = format!(
+                    "property '{name}' falsified at case {idx}\n  cause: {msg}\n  inputs:\n"
+                );
+                for (label, value) in &g.trace {
+                    report.push_str(&format!("    {label} = {value}\n"));
+                }
+                report.push_str(&format!(
+                    "  reproduce with: AHW_CHECK_CASE_SEED={case_seed}\n"
+                ));
+                panic!("{report}");
+            }
+        }
+    }
+}
+
+/// Labeled random-input generator handed to each property case.
+///
+/// Every draw is recorded as `label = value` for the counterexample report.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Xoshiro256,
+    trace: Vec<(String, String)>,
+}
+
+impl Gen {
+    fn record(&mut self, label: &str, value: impl std::fmt::Display) {
+        self.trace.push((label.to_string(), value.to_string()));
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, label: &str, lo: usize, hi: usize) -> usize {
+        let v = self.rng.gen_range(lo..hi);
+        self.record(label, v);
+        v
+    }
+
+    /// Uniform `u8` in `[lo, hi]` (inclusive — matches word-bit ranges).
+    pub fn u8_in(&mut self, label: &str, lo: u8, hi: u8) -> u8 {
+        let v = self.rng.gen_range(lo..=hi);
+        self.record(label, v);
+        v
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, label: &str, lo: u64, hi: u64) -> u64 {
+        let v = self.rng.gen_range(lo..hi);
+        self.record(label, v);
+        v
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn i64_in(&mut self, label: &str, lo: i64, hi: i64) -> i64 {
+        let v = self.rng.gen_range(lo..=hi);
+        self.record(label, v);
+        v
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, label: &str, lo: f32, hi: f32) -> f32 {
+        let v = self.rng.gen_range(lo..hi);
+        self.record(label, v);
+        v
+    }
+
+    /// Vector of uniform `f32` draws in `[lo, hi)`, with a random length in
+    /// `[len_lo, len_hi)`.
+    pub fn vec_f32(
+        &mut self,
+        label: &str,
+        lo: f32,
+        hi: f32,
+        len_lo: usize,
+        len_hi: usize,
+    ) -> Vec<f32> {
+        let len = self.rng.gen_range(len_lo..len_hi);
+        let mut out = vec![0.0f32; len];
+        self.rng.fill_uniform(&mut out, lo, hi);
+        self.record(label, format!("[f32; {len}] in [{lo}, {hi})"));
+        out
+    }
+
+    /// Random tensor shape: rank in `[0, max_rank)`, each dim in
+    /// `[1, dim_hi)` — the replacement for proptest's `vec(1..hi, 0..rank)`.
+    pub fn dims(&mut self, label: &str, max_rank: usize, dim_hi: usize) -> Vec<usize> {
+        let rank = self.rng.gen_range(0..max_rank);
+        let dims: Vec<usize> = (0..rank).map(|_| self.rng.gen_range(1..dim_hi)).collect();
+        self.record(label, format!("{dims:?}"));
+        dims
+    }
+
+    /// A derived seed for code that constructs its own generators — the
+    /// replacement for proptest's ubiquitous `seed in 0u64..N`.
+    pub fn seed(&mut self, label: &str) -> u64 {
+        let v = self.rng.next_u64();
+        self.record(label, v);
+        v
+    }
+
+    /// Direct access to the case's generator for ad-hoc draws (unlabeled —
+    /// prefer the typed helpers where a counterexample should show values).
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        cases(16).run("always_true", |g| {
+            let _ = g.usize_in("x", 0, 10);
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), 16);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut drawn = Vec::new();
+            cases(8).run("collect", |g| {
+                drawn.push(g.u64_in("v", 0, 1 << 40));
+                Ok(())
+            });
+            drawn
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_reports_counterexample() {
+        cases(32).run("all_below_five", |g| {
+            let x = g.usize_in("x", 0, 100);
+            ensure(x < 5, format!("{x} is not below 5"))
+        });
+    }
+
+    #[test]
+    fn discarded_cases_do_not_fail() {
+        cases(16).run("assume_even", |g| {
+            let x = g.usize_in("x", 0, 100);
+            assume(x % 2 == 0)?;
+            ensure(x % 2 == 0, "assume did not filter")
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn fully_discarded_property_is_an_error() {
+        cases(4).run("impossible", |_| assume(false));
+    }
+
+    #[test]
+    fn distinct_seeds_draw_distinct_cases() {
+        let collect = |seed: u64| {
+            let mut drawn = Vec::new();
+            cases(4).seed(seed).run("collect", |g| {
+                drawn.push(g.u64_in("v", 0, u64::MAX));
+                Ok(())
+            });
+            drawn
+        };
+        assert_ne!(collect(1), collect(2));
+    }
+}

@@ -9,7 +9,9 @@
 //! The design goal is a *predictable* substrate: tensors are always contiguous
 //! row-major buffers, every fallible public operation returns a
 //! [`Result<T, TensorError>`](TensorError), and nothing here depends on global
-//! state (all randomness flows through explicit [`rand::Rng`] values).
+//! state (all randomness flows through explicit [`rng::Rng`] values produced
+//! by the in-house seeded generator — the workspace has no external
+//! dependencies at all).
 //!
 //! ## Example
 //!
@@ -29,6 +31,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod check;
 pub mod io;
 pub mod ops;
 pub mod quant;

@@ -1,24 +1,277 @@
-//! Deterministic random tensor constructors.
+//! Deterministic, dependency-free random number generation.
 //!
 //! Every stochastic component in the workspace (weight init, synthetic data,
-//! SRAM bit flips, crossbar process variation) draws from an explicitly
-//! seeded RNG created by [`seeded`], so experiments reproduce bit-for-bit.
+//! SRAM bit flips, crossbar process variation, attack random starts) draws
+//! from an explicitly seeded [`Xoshiro256`] created by [`seeded`] or
+//! [`stream`], so experiments reproduce bit-for-bit. The generator, the
+//! [`Rng`] trait, and the sampling helpers are implemented here from scratch
+//! — the workspace builds offline with zero external crates, and the exact
+//! bit streams are part of the experimental contract (see the golden-value
+//! tests at the bottom of this module).
+//!
+//! ## Algorithms
+//!
+//! * **xoshiro256\*\*** (Blackman & Vigna) is the workhorse generator:
+//!   256-bit state, period 2²⁵⁶−1, passes BigCrush, and is a few rotates and
+//!   xors per draw.
+//! * **SplitMix64** expands a 64-bit seed into the 256-bit xoshiro state and
+//!   derives independent sub-streams; its outputs are equidistributed over
+//!   one period, so distinct seeds cannot yield overlapping initial states.
+//!
+//! ## Stream derivation
+//!
+//! Components that need independent randomness from one experiment seed use
+//! [`stream`]`(seed, stream_id)` (or [`Xoshiro256::split`]): the base seed is
+//! diffused through SplitMix64 and combined with the golden-ratio-multiplied
+//! stream id before seeding the generator. Two streams derived from the same
+//! seed are decorrelated, while each `(seed, stream_id)` pair is a pure
+//! function — the property that keeps per-batch attack crafting independent
+//! of thread scheduling.
 
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 — the seed expander / stream deriver.
+///
+/// Small, fast, and equidistributed; used to turn 64-bit seeds into
+/// [`Xoshiro256`] states and to mix stream identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 sequence starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* — the workspace-standard deterministic generator.
+///
+/// Construct through [`seeded`], [`stream`], or [`Xoshiro256::split`]; draw
+/// through the [`Rng`] trait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expands a 64-bit seed into a full 256-bit state via SplitMix64
+    /// (the seeding procedure recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256 { s }
+    }
+
+    /// Splits off a statistically independent child generator, advancing
+    /// this generator by one draw. Deterministic: the n-th split of a
+    /// generator seeded with `s` is always the same stream.
+    pub fn split(&mut self) -> Self {
+        Xoshiro256::seed_from_u64(self.next_u64())
+    }
+}
+
+impl Rng for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Creates the workspace-standard deterministic RNG from a seed.
 ///
 /// ```
+/// use ahw_tensor::rng::Rng;
 /// let mut a = ahw_tensor::rng::seeded(7);
 /// let mut b = ahw_tensor::rng::seeded(7);
-/// use rand::Rng;
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(seed)
 }
+
+/// Derives the generator for sub-stream `stream_id` of experiment `seed`.
+///
+/// Streams with distinct ids are decorrelated even for adjacent seeds; the
+/// same `(seed, stream_id)` pair always yields the same bit stream. This is
+/// how one experiment seed fans out into independent randomness for e.g.
+/// per-batch attack crafting or per-layer noise injection.
+pub fn stream(seed: u64, stream_id: u64) -> Xoshiro256 {
+    let mut sm = SplitMix64::new(seed);
+    let diffused = sm.next_u64();
+    Xoshiro256::seed_from_u64(diffused ^ stream_id.wrapping_mul(GOLDEN_GAMMA))
+}
+
+/// A type that can parameterize [`Rng::gen_range`] — implemented for
+/// half-open (`lo..hi`) and inclusive (`lo..=hi`) ranges over the integer
+/// and float types the workspace samples.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Minimal random-number trait: one required method, everything else
+/// derived. Implemented by [`Xoshiro256`]; generic call sites take
+/// `R: Rng` so tests can substitute counting or constant generators.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (or, for floats, not finite).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p {p} outside [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Fills `out` with uniform draws from `[lo, hi)`.
+    fn fill_uniform(&mut self, out: &mut [f32], lo: f32, hi: f32)
+    where
+        Self: Sized,
+    {
+        for v in out {
+            *v = self.gen_range(lo..hi);
+        }
+    }
+
+    /// Fills `out` with uniformly random bytes.
+    fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let bits = self.next_u64();
+            for (i, b) in chunk.iter_mut().enumerate() {
+                *b = (bits >> (8 * i)) as u8;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Bounded draw via 128-bit widening multiply (Lemire's method without the
+/// rejection step — the bias is below `span / 2⁶⁴`, far under any tolerance
+/// in this workspace).
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// The largest float strictly below `hi` — the clamp target for the
+/// (rounding-induced) rare case where `lo + (hi-lo)·u` lands on `hi`.
+fn next_down_f32(hi: f32) -> f32 {
+    if hi > 0.0 {
+        f32::from_bits(hi.to_bits() - 1)
+    } else {
+        f32::from_bits(hi.to_bits() + 1)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "empty or non-finite f32 range {:?}",
+            self
+        );
+        let v = self.start + (self.end - self.start) * rng.next_f32();
+        if v < self.end {
+            v
+        } else {
+            next_down_f32(self.end).max(self.start)
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "empty or non-finite f64 range {:?}",
+            self
+        );
+        let v = self.start + (self.end - self.start) * rng.next_f64();
+        v.min(self.end - (self.end - self.start) * f64::EPSILON)
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 /// Tensor with elements drawn uniformly from `[lo, hi)`.
 pub fn uniform<R: Rng>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
@@ -29,7 +282,7 @@ pub fn uniform<R: Rng>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor 
 
 /// Tensor with elements drawn from a normal distribution `N(mean, std²)`.
 ///
-/// Uses the Box–Muller transform so only `rand`'s uniform sampler is needed.
+/// Uses the Box–Muller transform so only the uniform sampler is needed.
 pub fn normal<R: Rng>(dims: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
     let n: usize = dims.iter().product();
     let mut data = Vec::with_capacity(n);
@@ -104,5 +357,191 @@ mod tests {
         // Box–Muller generates pairs; odd lengths must still fill exactly.
         let t = normal(&[7], 0.0, 1.0, &mut seeded(6));
         assert_eq!(t.len(), 7);
+    }
+
+    // ---- statistical sanity for the in-house generator -------------------
+
+    #[test]
+    fn uniform_mean_and_variance_match_theory() {
+        // U(a, b): mean (a+b)/2, variance (b-a)²/12
+        let (a, b, n) = (-1.0f32, 3.0f32, 100_000usize);
+        let t = uniform(&[n], a, b, &mut seeded(100));
+        let mean = t.mean();
+        assert!((mean - 1.0).abs() < 0.02, "uniform mean {mean}");
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f32>()
+            / n as f32;
+        let expect = (b - a) * (b - a) / 12.0;
+        assert!(
+            (var - expect).abs() < expect * 0.02,
+            "uniform variance {var} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn normal_tail_mass_is_gaussian() {
+        // ~4.55 % of draws beyond 2σ, ~0.27 % beyond 3σ
+        let n = 100_000usize;
+        let t = normal(&[n], 0.0, 1.0, &mut seeded(101));
+        let beyond2 = t.as_slice().iter().filter(|v| v.abs() > 2.0).count() as f32 / n as f32;
+        let beyond3 = t.as_slice().iter().filter(|v| v.abs() > 3.0).count() as f32 / n as f32;
+        assert!((beyond2 - 0.0455).abs() < 0.005, "2σ tail {beyond2}");
+        assert!((beyond3 - 0.0027).abs() < 0.0015, "3σ tail {beyond3}");
+    }
+
+    #[test]
+    fn monobit_balance() {
+        // each of the 64 bit positions should be ~half set over many draws
+        let mut rng = seeded(102);
+        let n = 20_000usize;
+        let mut counts = [0u32; 64];
+        for _ in 0..n {
+            let x = rng.next_u64();
+            for (b, c) in counts.iter_mut().enumerate() {
+                *c += ((x >> b) & 1) as u32;
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.5).abs() < 0.02, "bit {b} frequency {frac}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_matches_p() {
+        let mut rng = seeded(103);
+        let hits = (0..50_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 50_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "gen_bool(0.3) frequency {frac}");
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = seeded(104);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut seen_incl = [false; 3];
+        for _ in 0..100 {
+            let v = rng.gen_range(-1isize..=1);
+            seen_incl[(v + 1) as usize] = true;
+        }
+        assert!(seen_incl.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b = a.clone();
+        seeded(105).shuffle(&mut a);
+        seeded(105).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let a: Vec<u64> = {
+            let mut r = stream(7, 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = stream(7, 1);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+        // and stream 0 is not the base stream either
+        let base: Vec<u64> = {
+            let mut r = seeded(7);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, base);
+    }
+
+    #[test]
+    fn split_children_are_independent_and_deterministic() {
+        let mut parent1 = seeded(9);
+        let mut parent2 = seeded(9);
+        let mut c1 = parent1.split();
+        let mut c2 = parent2.split();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut sibling = parent1.split();
+        assert_ne!(c1.next_u64(), sibling.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut buf = [0u8; 13];
+        seeded(106).fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    // ---- golden values: the experiment-reproducibility contract ----------
+    //
+    // These lock the exact bit streams for seed 7. If a refactor changes any
+    // of them, every experiment output in the repo silently changes; treat a
+    // failure here as a breaking change, never as a tolerance to loosen.
+
+    #[test]
+    fn golden_u64_stream_seed7() {
+        let mut rng = seeded(7);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            golden::U64_SEED7,
+            "xoshiro256** stream for seed 7 changed"
+        );
+    }
+
+    #[test]
+    fn golden_f32_stream_seed7() {
+        let mut rng = seeded(7);
+        let got: Vec<f32> = (0..4).map(|_| rng.next_f32()).collect();
+        assert_eq!(got, golden::F32_SEED7, "f32 stream for seed 7 changed");
+    }
+
+    #[test]
+    fn golden_splitmix_stream_seed7() {
+        let mut sm = SplitMix64::new(7);
+        let got: Vec<u64> = (0..4).map(|_| sm.next_u64()).collect();
+        assert_eq!(got, golden::SPLITMIX_SEED7, "SplitMix64 stream changed");
+    }
+
+    #[test]
+    fn golden_derived_stream_seed7() {
+        let mut rng = stream(7, 3);
+        assert_eq!(
+            rng.next_u64(),
+            golden::STREAM7_3_FIRST,
+            "stream(7, 3) derivation changed"
+        );
+    }
+
+    /// Reference outputs captured from this implementation at introduction
+    /// time (seed 7), matching the published xoshiro256**/SplitMix64
+    /// reference semantics.
+    mod golden {
+        pub const U64_SEED7: [u64; 4] = [
+            0xB358_FAF7_4EF9_765A,
+            0x475C_3D96_4F48_2CD2,
+            0xD6F1_D349_952C_7996,
+            0xFB29_3873_1E80_7240,
+        ];
+        pub const F32_SEED7: [f32; 4] = [0.700_576_4, 0.278_751_2, 0.839_627_44, 0.981_097_7];
+        pub const SPLITMIX_SEED7: [u64; 4] = [
+            0x63CB_E1E4_5932_0DD7,
+            0x044C_3CD7_F43C_661C,
+            0xE698_4080_BAB1_2A02,
+            0x953A_EB70_673E_29CB,
+        ];
+        pub const STREAM7_3_FIRST: u64 = 0xBA51_99E6_7230_912E;
     }
 }

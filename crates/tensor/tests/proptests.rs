@@ -1,26 +1,22 @@
-//! Property-based tests for the tensor substrate.
+//! Property-based tests for the tensor substrate, running on the in-house
+//! deterministic harness ([`ahw_tensor::check`]).
 
+use ahw_tensor::check::{self, ensure};
 use ahw_tensor::ops::{self, ConvGeometry};
 use ahw_tensor::{io, rng, Shape, Tensor};
-use proptest::prelude::*;
 
-fn small_dims() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..5, 0..4)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Row-major offsets are a bijection onto 0..volume.
-    #[test]
-    fn shape_offsets_are_bijective(dims in small_dims()) {
+/// Row-major offsets are a bijection onto 0..volume.
+#[test]
+fn shape_offsets_are_bijective() {
+    check::cases(64).run("shape_offsets_are_bijective", |g| {
+        let dims = g.dims("dims", 4, 5);
         let shape = Shape::new(&dims);
         let volume = shape.volume();
         let mut seen = vec![false; volume];
         let mut index = vec![0usize; dims.len()];
         'outer: loop {
             let off = shape.offset(&index).unwrap();
-            prop_assert!(!seen[off]);
+            ensure(!seen[off], format!("offset {off} visited twice"))?;
             seen[off] = true;
             // odometer increment
             let mut d = dims.len();
@@ -36,45 +32,64 @@ proptest! {
                 index[d] = 0;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        ensure(seen.iter().all(|&s| s), "not all offsets reached")
+    });
+}
 
-    /// Transpose is an involution.
-    #[test]
-    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..500) {
+/// Transpose is an involution.
+#[test]
+fn transpose_involution() {
+    check::cases(64).run("transpose_involution", |g| {
+        let rows = g.usize_in("rows", 1, 8);
+        let cols = g.usize_in("cols", 1, 8);
+        let seed = g.seed("seed");
         let t = rng::uniform(&[rows, cols], -1.0, 1.0, &mut rng::seeded(seed));
-        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
-    }
+        ensure(
+            t.transpose().unwrap().transpose().unwrap() == t,
+            "transpose twice is not the identity",
+        )
+    });
+}
 
-    /// (AB)ᵀ = BᵀAᵀ.
-    #[test]
-    fn matmul_transpose_identity(seed in 0u64..200) {
+/// (AB)ᵀ = BᵀAᵀ.
+#[test]
+fn matmul_transpose_identity() {
+    check::cases(64).run("matmul_transpose_identity", |g| {
+        let seed = g.seed("seed");
         let a = rng::uniform(&[3, 4], -1.0, 1.0, &mut rng::seeded(seed));
-        let b = rng::uniform(&[4, 5], -1.0, 1.0, &mut rng::seeded(seed + 1));
+        let b = rng::uniform(&[4, 5], -1.0, 1.0, &mut rng::seeded(seed.wrapping_add(1)));
         let lhs = ops::matmul(&a, &b).unwrap().transpose().unwrap();
         let rhs = ops::matmul(&b.transpose().unwrap(), &a.transpose().unwrap()).unwrap();
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            ensure((x - y).abs() < 1e-4, format!("{x} vs {y}"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Serialization round-trips arbitrary shapes bit-exactly.
-    #[test]
-    fn io_round_trip(dims in small_dims(), seed in 0u64..500) {
+/// Serialization round-trips arbitrary shapes bit-exactly.
+#[test]
+fn io_round_trip() {
+    check::cases(64).run("io_round_trip", |g| {
+        let dims = g.dims("dims", 4, 5);
+        let seed = g.seed("seed");
         let t = rng::normal(&dims, 0.0, 10.0, &mut rng::seeded(seed));
         let mut buf = Vec::new();
         io::write_tensor(&mut buf, &t).unwrap();
         let back = io::read_tensor(&mut buf.as_slice()).unwrap();
-        prop_assert_eq!(t, back);
-    }
+        ensure(t == back, "serialization round trip changed the tensor")
+    });
+}
 
-    /// im2col followed by col2im applied to a ones-matrix counts how many
-    /// patches cover each pixel — every interior pixel of a stride-1 padded
-    /// conv is covered exactly k² times.
-    #[test]
-    fn conv_coverage_count(k in 1usize..4) {
+/// im2col followed by col2im applied to a ones-matrix counts how many
+/// patches cover each pixel — every interior pixel of a stride-1 padded
+/// conv is covered exactly k² times.
+#[test]
+fn conv_coverage_count() {
+    check::cases(16).run("conv_coverage_count", |g| {
+        let k = g.usize_in("k", 1, 4);
         let size = 6usize;
-        let g = ConvGeometry {
+        let geom = ConvGeometry {
             channels: 1,
             height: size,
             width: size,
@@ -82,39 +97,54 @@ proptest! {
             stride: 1,
             padding: k / 2,
         };
-        let ones = Tensor::ones(&[g.patch_len(), g.out_height() * g.out_width()]);
-        let cover = ops::col2im(&ones, &g).unwrap();
+        let ones = Tensor::ones(&[geom.patch_len(), geom.out_height() * geom.out_width()]);
+        let cover = ops::col2im(&ones, &geom).unwrap();
         // interior pixel
         let mid = cover.at(&[0, size / 2, size / 2]).unwrap();
-        prop_assert!((mid - (k * k) as f32).abs() < 1e-5);
-    }
+        ensure(
+            (mid - (k * k) as f32).abs() < 1e-5,
+            format!("coverage {mid} vs {}", k * k),
+        )
+    });
+}
 
-    /// softmax rows are probability vectors for any finite input.
-    #[test]
-    fn softmax_rows_are_distributions(
-        rows in 1usize..5,
-        cols in 1usize..8,
-        seed in 0u64..500,
-    ) {
+/// softmax rows are probability vectors for any finite input.
+#[test]
+fn softmax_rows_are_distributions() {
+    check::cases(64).run("softmax_rows_are_distributions", |g| {
+        let rows = g.usize_in("rows", 1, 5);
+        let cols = g.usize_in("cols", 1, 8);
+        let seed = g.seed("seed");
         let t = rng::uniform(&[rows, cols], -50.0, 50.0, &mut rng::seeded(seed));
         let s = ops::softmax_rows(&t).unwrap();
         for r in 0..rows {
             let row = &s.as_slice()[r * cols..(r + 1) * cols];
             let sum: f32 = row.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            ensure((sum - 1.0).abs() < 1e-4, format!("row {r} sums to {sum}"))?;
+            ensure(
+                row.iter().all(|&p| (0.0..=1.0).contains(&p)),
+                format!("row {r} has a value outside [0, 1]"),
+            )?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Cross-entropy is minimized (among one-hot targets) by the true label.
-    #[test]
-    fn cross_entropy_prefers_true_label(seed in 0u64..200, label in 0usize..4) {
+/// Cross-entropy is minimized (among one-hot targets) by the true label.
+#[test]
+fn cross_entropy_prefers_true_label() {
+    check::cases(64).run("cross_entropy_prefers_true_label", |g| {
+        let seed = g.seed("seed");
+        let label = g.usize_in("label", 0, 4);
         let logits = rng::uniform(&[1, 4], -2.0, 2.0, &mut rng::seeded(seed));
         let (loss_true, _) = ops::cross_entropy_with_grad(&logits, &[label]).unwrap();
         // raising the true logit must reduce the loss
         let mut boosted = logits.clone();
         boosted.as_mut_slice()[label] += 1.0;
         let (loss_boosted, _) = ops::cross_entropy_with_grad(&boosted, &[label]).unwrap();
-        prop_assert!(loss_boosted < loss_true + 1e-6);
-    }
+        ensure(
+            loss_boosted < loss_true + 1e-6,
+            format!("boosted loss {loss_boosted} vs {loss_true}"),
+        )
+    });
 }

@@ -15,7 +15,7 @@ use adversarial_hw::prelude::*;
 use ahw_nn::layers::{Linear, ReLU};
 use ahw_nn::train::{TrainConfig, Trainer};
 use ahw_tensor::rng;
-use rand::Rng;
+use ahw_tensor::rng::Rng;
 
 const GRID: usize = 48;
 

@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the workspace must build and test clean with no
+# network access and no external crates.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --offline
+cargo test -q --offline

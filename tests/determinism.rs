@@ -1,0 +1,77 @@
+//! End-to-end determinism guarantees: the full SRAM-noise + adversarial
+//! evaluation pipeline is a pure function of its seeds — bit-identical
+//! across repeated runs and across worker counts. This is what makes every
+//! paper number in `ahw-bench` reproducible on any machine.
+
+use adversarial_hw::prelude::*;
+use ahw_attacks::{evaluate_attack_sharded, Attack, AttackOutcome};
+use ahw_sram::{HybridMemoryConfig, HybridWordConfig};
+use ahw_tensor::{rng, Tensor};
+
+const SEED: u64 = 0xD_E7E_2;
+
+/// Builds a small seeded classifier.
+fn model(seed: u64) -> Sequential {
+    let mut r = rng::seeded(seed);
+    let mut m = Sequential::new();
+    m.push(ahw_nn::layers::Conv2d::new(1, 4, 3, 1, 1, &mut r).unwrap());
+    m.push(ahw_nn::layers::ReLU::new());
+    m.push(ahw_nn::layers::Flatten::new());
+    m.push(ahw_nn::layers::Linear::new(4 * 8 * 8, 3, &mut r).unwrap());
+    m
+}
+
+/// Seeded inputs pushed once through a seeded hybrid-SRAM store/load round
+/// trip — the noise half of the pipeline.
+fn noisy_images(seed: u64) -> Tensor {
+    let clean = rng::uniform(&[24, 1, 8, 8], 0.0, 1.0, &mut rng::seeded(seed));
+    let cfg = HybridMemoryConfig::new(HybridWordConfig::new(4, 4).unwrap(), 0.60).unwrap();
+    let injector = BitErrorInjector::new(cfg, &BitErrorModel::srinivasan22nm(), seed ^ 0x52A);
+    injector.corrupt(&clean)
+}
+
+/// The whole pipeline as a function of (seed, workers): SRAM-corrupted
+/// inputs, FGSM crafted against the model, accuracy on both.
+fn run(seed: u64, workers: usize) -> AttackOutcome {
+    let m = model(seed);
+    let images = noisy_images(seed);
+    let labels: Vec<usize> = (0..24).map(|i| i % 3).collect();
+    evaluate_attack_sharded(&m, &m, &images, &labels, Attack::Fgsm { epsilon: 0.06 }, 5, workers)
+        .unwrap()
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let a = run(SEED, 1);
+    let b = run(SEED, 1);
+    assert_eq!(a.clean_accuracy.to_bits(), b.clean_accuracy.to_bits());
+    assert_eq!(
+        a.adversarial_accuracy.to_bits(),
+        b.adversarial_accuracy.to_bits()
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_the_result() {
+    let one = run(SEED, 1);
+    let four = run(SEED, 4);
+    assert_eq!(one.clean_accuracy.to_bits(), four.clean_accuracy.to_bits());
+    assert_eq!(
+        one.adversarial_accuracy.to_bits(),
+        four.adversarial_accuracy.to_bits()
+    );
+}
+
+#[test]
+fn different_seeds_change_the_noise() {
+    let a = noisy_images(SEED);
+    let b = noisy_images(SEED + 1);
+    assert_ne!(a, b, "distinct seeds produced identical corrupted inputs");
+}
+
+#[test]
+fn sram_round_trip_is_seed_pure() {
+    let a = noisy_images(SEED);
+    let b = noisy_images(SEED);
+    assert_eq!(a, b, "same seed produced different corrupted inputs");
+}

@@ -1,68 +1,84 @@
-//! Property-based tests (proptest) over the workspace's core invariants.
+//! Property-based tests over the workspace's core invariants, running on
+//! the in-house deterministic harness ([`ahw_tensor::check`]).
 
 use adversarial_hw::prelude::*;
 use ahw_sram::WORD_BITS;
+use ahw_tensor::check::{self, ensure};
 use ahw_tensor::quant::{fake_quantize, QTensor};
 use ahw_tensor::{ops, rng};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Quantize→dequantize error is bounded by half a grid step.
-    #[test]
-    fn quantization_error_bounded(
-        values in prop::collection::vec(-100.0f32..100.0, 1..200),
-        bits in 1u8..=8,
-    ) {
+/// Quantize→dequantize error is bounded by half a grid step.
+#[test]
+fn quantization_error_bounded() {
+    check::cases(64).run("quantization_error_bounded", |g| {
+        let values = g.vec_f32("values", -100.0, 100.0, 1, 200);
+        let bits = g.u8_in("bits", 1, 8);
         let t = Tensor::from_slice(&values);
         let q = QTensor::quantize(&t, bits).unwrap();
         let back = q.dequantize();
         let half = q.params().scale * 0.5 + 1e-4;
         for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
-            prop_assert!((a - b).abs() <= half, "{a} vs {b} (half step {half})");
+            ensure(
+                (a - b).abs() <= half,
+                format!("{a} vs {b} (half step {half})"),
+            )?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Fake quantization is idempotent at any width.
-    #[test]
-    fn fake_quantization_idempotent(
-        values in prop::collection::vec(-10.0f32..10.0, 1..100),
-        bits in 1u8..=8,
-    ) {
+/// Fake quantization is idempotent at any width.
+#[test]
+fn fake_quantization_idempotent() {
+    check::cases(64).run("fake_quantization_idempotent", |g| {
+        let values = g.vec_f32("values", -10.0, 10.0, 1, 100);
+        let bits = g.u8_in("bits", 1, 8);
         let t = Tensor::from_slice(&values);
         let once = fake_quantize(&t, bits).unwrap();
         let twice = fake_quantize(&once, bits).unwrap();
         for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-4);
+            ensure((a - b).abs() < 1e-4, format!("{a} re-quantized to {b}"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// μ is monotone: more 6T cells never reduce it; higher Vdd never
-    /// increases it.
-    #[test]
-    fn mu_monotonicity(six_t in 1u8..WORD_BITS, vdd in 0.55f32..0.95) {
+/// μ is monotone: more 6T cells never reduce it; higher Vdd never
+/// increases it.
+#[test]
+fn mu_monotonicity() {
+    check::cases(64).run("mu_monotonicity", |g| {
+        let six_t = g.u8_in("six_t", 1, WORD_BITS - 1);
+        let vdd = g.f32_in("vdd", 0.55, 0.95);
         let model = BitErrorModel::srinivasan22nm();
         let smaller = HybridWordConfig::new(WORD_BITS - six_t, six_t).unwrap();
         let larger = HybridWordConfig::new(WORD_BITS - six_t - 1, six_t + 1).unwrap();
         let ber = model.bit_error_rate(vdd);
-        prop_assert!(larger.mu(ber) >= smaller.mu(ber));
+        ensure(
+            larger.mu(ber) >= smaller.mu(ber),
+            "more 6T cells reduced mu",
+        )?;
         let ber_higher_v = model.bit_error_rate(vdd + 0.05);
-        prop_assert!(smaller.mu(ber_higher_v) <= smaller.mu(ber));
-    }
+        ensure(
+            smaller.mu(ber_higher_v) <= smaller.mu(ber),
+            "higher Vdd raised mu",
+        )
+    });
+}
 
-    /// Bit-error injection never moves a value farther than the worst-case
-    /// flip of every 6T bit plus quantization error.
-    #[test]
-    fn injector_damage_bounded(
-        values in prop::collection::vec(0.0f32..1.0, 8..128),
-        six_t in 0u8..=WORD_BITS,
-        seed in 0u64..1000,
-    ) {
+/// Bit-error injection never moves a value farther than the worst-case
+/// flip of every 6T bit plus quantization error.
+#[test]
+fn injector_damage_bounded() {
+    check::cases(64).run("injector_damage_bounded", |g| {
+        let values = g.vec_f32("values", 0.0, 1.0, 8, 128);
+        let six_t = g.u8_in("six_t", 0, WORD_BITS);
+        let seed = g.u64_in("seed", 0, 1000);
         let cfg = HybridMemoryConfig::new(
             HybridWordConfig::new(WORD_BITS - six_t, six_t).unwrap(),
             0.55,
-        ).unwrap();
+        )
+        .unwrap();
         let injector = BitErrorInjector::new(cfg, &BitErrorModel::srinivasan22nm(), seed);
         let t = Tensor::from_slice(&values);
         let out = injector.corrupt(&t);
@@ -70,16 +86,18 @@ proptest! {
         let worst_codes = cfg.word().six_t_mask() as f32;
         let bound = q.params().scale * (worst_codes + 0.5) + 1e-5;
         for (a, b) in t.as_slice().iter().zip(out.as_slice()) {
-            prop_assert!((a - b).abs() <= bound, "{a} -> {b}, bound {bound}");
+            ensure((a - b).abs() <= bound, format!("{a} -> {b}, bound {bound}"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// FGSM output stays inside the ε-ball and the [0,1] pixel domain.
-    #[test]
-    fn fgsm_ball_constraint(
-        seed in 0u64..500,
-        eps in 0.0f32..0.35,
-    ) {
+/// FGSM output stays inside the ε-ball and the [0,1] pixel domain.
+#[test]
+fn fgsm_ball_constraint() {
+    check::cases(64).run("fgsm_ball_constraint", |g| {
+        let seed = g.u64_in("seed", 0, 500);
+        let eps = g.f32_in("eps", 0.0, 0.35);
         let mut r = rng::seeded(seed);
         let mut model = Sequential::new();
         model.push(ahw_nn::layers::Linear::new(6, 3, &mut r).unwrap());
@@ -87,69 +105,92 @@ proptest! {
         let labels = vec![0usize, 1, 2, 0, 1];
         let adv = ahw_attacks::fgsm(&mut model, &x, &labels, eps).unwrap();
         for (a, b) in adv.as_slice().iter().zip(x.as_slice()) {
-            prop_assert!((a - b).abs() <= eps + 1e-5);
-            prop_assert!((0.0..=1.0).contains(a));
+            ensure(
+                (a - b).abs() <= eps + 1e-5,
+                format!("{b} perturbed to {a} beyond eps {eps}"),
+            )?;
+            ensure((0.0..=1.0).contains(a), format!("{a} left pixel domain"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// PGD output stays inside the ε-ball and the [0,1] pixel domain.
-    #[test]
-    fn pgd_ball_constraint(
-        seed in 0u64..200,
-        eps in 0.01f32..0.3,
-        steps in 1usize..6,
-    ) {
+/// PGD output stays inside the ε-ball and the [0,1] pixel domain.
+#[test]
+fn pgd_ball_constraint() {
+    check::cases(64).run("pgd_ball_constraint", |g| {
+        let seed = g.u64_in("seed", 0, 200);
+        let eps = g.f32_in("eps", 0.01, 0.3);
+        let steps = g.usize_in("steps", 1, 6);
         let mut r = rng::seeded(seed);
         let mut model = Sequential::new();
         model.push(ahw_nn::layers::Linear::new(4, 2, &mut r).unwrap());
         let x = rng::uniform(&[4, 4], 0.0, 1.0, &mut r);
         let labels = vec![0usize, 1, 0, 1];
-        let adv = ahw_attacks::pgd(
-            &mut model, &x, &labels, eps, eps / 2.0, steps, true, &mut r,
-        ).unwrap();
+        let adv =
+            ahw_attacks::pgd(&mut model, &x, &labels, eps, eps / 2.0, steps, true, &mut r).unwrap();
         for (a, b) in adv.as_slice().iter().zip(x.as_slice()) {
-            prop_assert!((a - b).abs() <= eps + 1e-5);
-            prop_assert!((0.0..=1.0).contains(a));
+            ensure(
+                (a - b).abs() <= eps + 1e-5,
+                format!("{b} perturbed to {a} beyond eps {eps}"),
+            )?;
+            ensure((0.0..=1.0).contains(a), format!("{a} left pixel domain"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Crossbar mapping preserves the sign of significant weights and never
-    /// produces non-finite values.
-    #[test]
-    fn crossbar_mapping_sign_and_finiteness(
-        seed in 0u64..200,
-        rows in 2usize..10,
-        cols in 2usize..10,
-    ) {
+/// Crossbar mapping preserves the sign of significant weights and never
+/// produces non-finite values.
+#[test]
+fn crossbar_mapping_sign_and_finiteness() {
+    check::cases(64).run("crossbar_mapping_sign_and_finiteness", |g| {
+        let seed = g.u64_in("seed", 0, 200);
+        let rows = g.usize_in("rows", 2, 10);
+        let cols = g.usize_in("cols", 2, 10);
         let w = rng::uniform(&[rows, cols], -1.0, 1.0, &mut rng::seeded(seed));
         let mut cfg = CrossbarConfig::paper_default(16);
         cfg.nonideal.variation_sigma = 0.0; // deterministic part only
         let eff = ahw_crossbar::map_matrix(&w, &cfg).unwrap();
         for (a, b) in w.as_slice().iter().zip(eff.as_slice()) {
-            prop_assert!(b.is_finite());
+            ensure(b.is_finite(), format!("weight {a} mapped to {b}"))?;
             if a.abs() > 0.2 {
-                prop_assert_eq!(a.signum(), b.signum(), "weight {} mapped to {}", a, b);
+                ensure(
+                    a.signum() == b.signum(),
+                    format!("weight {a} mapped to {b} with flipped sign"),
+                )?;
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// GEMM distributes over addition: A(B+C) = AB + AC (within tolerance).
-    #[test]
-    fn matmul_distributes(seed in 0u64..200) {
+/// GEMM distributes over addition: A(B+C) = AB + AC (within tolerance).
+#[test]
+fn matmul_distributes() {
+    check::cases(64).run("matmul_distributes", |g| {
+        let seed = g.u64_in("seed", 0, 200);
         let a = rng::uniform(&[4, 5], -1.0, 1.0, &mut rng::seeded(seed));
         let b = rng::uniform(&[5, 3], -1.0, 1.0, &mut rng::seeded(seed + 1));
         let c = rng::uniform(&[5, 3], -1.0, 1.0, &mut rng::seeded(seed + 2));
         let lhs = ops::matmul(&a, &b.add(&c).unwrap()).unwrap();
-        let rhs = ops::matmul(&a, &b).unwrap().add(&ops::matmul(&a, &c).unwrap()).unwrap();
+        let rhs = ops::matmul(&a, &b)
+            .unwrap()
+            .add(&ops::matmul(&a, &c).unwrap())
+            .unwrap();
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            ensure((x - y).abs() < 1e-4, format!("{x} vs {y}"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The dataset generator is pure: equal configs → equal bytes, and the
-    /// label layout is balanced round-robin.
-    #[test]
-    fn dataset_generation_pure(seed in 0u64..100) {
+/// The dataset generator is pure: equal configs → equal bytes, and the
+/// label layout is balanced round-robin.
+#[test]
+fn dataset_generation_pure() {
+    check::cases(16).run("dataset_generation_pure", |g| {
+        let seed = g.u64_in("seed", 0, 100);
         let cfg = DatasetConfig {
             num_classes: 3,
             train_size: 12,
@@ -162,11 +203,11 @@ proptest! {
         };
         let a = SyntheticCifar::generate(&cfg);
         let b = SyntheticCifar::generate(&cfg);
-        prop_assert_eq!(&a, &b);
+        ensure(a == b, "equal configs generated different datasets")?;
         for (i, &l) in a.train().labels().iter().enumerate() {
-            prop_assert_eq!(l, i % 3);
+            ensure(l == i % 3, format!("label {l} at index {i} breaks round-robin"))?;
         }
-        prop_assert!(a.train().images().min() >= 0.0);
-        prop_assert!(a.train().images().max() <= 1.0);
-    }
+        ensure(a.train().images().min() >= 0.0, "pixel below 0")?;
+        ensure(a.train().images().max() <= 1.0, "pixel above 1")
+    });
 }
