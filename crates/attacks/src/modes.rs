@@ -2,7 +2,9 @@ use crate::methods::{craft, Attack};
 use crate::AttackOutcome;
 use ahw_nn::util::num_threads;
 use ahw_nn::{NnError, Sequential};
-use ahw_tensor::Tensor;
+use ahw_tensor::{pool, Tensor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The paper's three attack/evaluation pairings (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,11 +59,12 @@ pub fn evaluate_attack(
 
 /// [`evaluate_attack`] with an explicit worker count.
 ///
-/// Batches are sharded round-robin over `workers` scoped threads. Per-batch
-/// attack RNG (PGD random starts) is derived from the batch index via the
-/// workspace stream-derivation scheme, and per-batch correct-prediction
-/// counts are integers, so the result is bit-identical for every worker
-/// count and independent of thread scheduling.
+/// Batches run on the shared [`ahw_tensor::pool`] worker pool (`workers == 1`
+/// forces a serial pass on the calling thread). Per-batch attack RNG (PGD
+/// random starts) is derived from the batch index via the workspace
+/// stream-derivation scheme, and per-batch correct-prediction counts are
+/// integers, so the result is bit-identical for every worker count and
+/// independent of thread scheduling.
 ///
 /// # Errors
 ///
@@ -94,18 +97,17 @@ pub fn evaluate_attack_sharded(
         .step_by(batch)
         .map(|lo| (lo, (lo + batch).min(n)))
         .collect();
-    let threads = workers.min(chunks.len()).max(1);
     let xv = images.as_slice();
     let dims = images.dims();
 
-    let shard = |worker: usize| -> Result<(usize, usize), NnError> {
-        // each worker differentiates through its own clone
+    // Every batch is independent: its RNG stream comes from the batch index
+    // and its counts are integers, so any schedule yields the same totals.
+    let shard_range = |range: std::ops::Range<usize>| -> Result<(usize, usize), NnError> {
+        // each range differentiates through its own clone
         let mut grad = grad_model.clone();
         let (mut clean_ok, mut adv_ok) = (0usize, 0usize);
-        for (ci, &(lo, hi)) in chunks.iter().enumerate() {
-            if ci % threads != worker {
-                continue;
-            }
+        for ci in range {
+            let (lo, hi) = chunks[ci];
             let mut bd = dims.to_vec();
             bd[0] = hi - lo;
             let xb = Tensor::from_vec(xv[lo * item..hi * item].to_vec(), &bd)?;
@@ -120,23 +122,28 @@ pub fn evaluate_attack_sharded(
         Ok((clean_ok, adv_ok))
     };
 
-    let (clean_ok, adv_ok) = if threads <= 1 {
-        shard(0)?
+    let (clean_ok, adv_ok) = if workers <= 1 {
+        shard_range(0..chunks.len())?
     } else {
-        let totals: Vec<Result<(usize, usize), NnError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || shard(w))).collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("attack worker panicked"))
-                .collect()
+        let clean = AtomicUsize::new(0);
+        let adv = AtomicUsize::new(0);
+        let first_err: Mutex<Option<NnError>> = Mutex::new(None);
+        pool::parallel_for_ranges(chunks.len(), 1, |r| match shard_range(r) {
+            Ok((c, a)) => {
+                clean.fetch_add(c, Ordering::Relaxed);
+                adv.fetch_add(a, Ordering::Relaxed);
+            }
+            Err(e) => {
+                let mut slot = first_err.lock().expect("attack error slot");
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
         });
-        let mut acc = (0usize, 0usize);
-        for t in totals {
-            let (c, a) = t?;
-            acc.0 += c;
-            acc.1 += a;
+        if let Some(e) = first_err.into_inner().expect("attack error slot") {
+            return Err(e);
         }
-        acc
+        (clean.into_inner(), adv.into_inner())
     };
     Ok(AttackOutcome {
         clean_accuracy: clean_ok as f32 / n as f32,

@@ -13,7 +13,7 @@ use ahw_sram::{BitErrorInjector, BitErrorModel, HybridMemoryConfig, HybridWordCo
 use ahw_tensor::{ops, rng};
 
 fn bench_matmul(h: &mut Harness) {
-    for n in [32usize, 128] {
+    for n in [32usize, 128, 256] {
         let a = rng::uniform(&[n, n], -1.0, 1.0, &mut rng::seeded(1));
         let b = rng::uniform(&[n, n], -1.0, 1.0, &mut rng::seeded(2));
         h.bench(&format!("matmul/{n}"), || {

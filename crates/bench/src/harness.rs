@@ -139,11 +139,9 @@ impl Harness {
         // Target ~1/10 of the warm-up window per sample, at least one
         // iteration, capped so a pathologically fast closure stays bounded.
         let target_ns = (self.warmup.as_nanos() / 10).max(1);
-        let iters = if per_iter == 0 {
-            1_000_000
-        } else {
-            ((target_ns / per_iter).clamp(1, 1_000_000)) as u64
-        };
+        let iters = target_ns
+            .checked_div(per_iter)
+            .map_or(1_000_000, |n| n.clamp(1, 1_000_000)) as u64;
 
         let mut sample_ns: Vec<u128> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {

@@ -2,8 +2,9 @@
 //! process variation, and tiled matrix-vector multiplication.
 
 use crate::{extract_effective_conductance, CrossbarConfig, CrossbarError};
-use ahw_tensor::{Tensor, TensorError};
 use ahw_tensor::rng::Rng;
+use ahw_tensor::{ops, pool, Tensor, TensorError};
+use std::sync::Mutex;
 
 /// One programmed `K×K` (or smaller, at matrix edges) crossbar array pair.
 ///
@@ -129,15 +130,9 @@ impl CrossbarTile {
             )));
         }
         let mut out = vec![0.0f32; self.cols];
-        for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
-            let row = &self.g_eff_diff[i * self.cols..(i + 1) * self.cols];
-            for (o, &gd) in out.iter_mut().zip(row) {
-                *o += gd * vi;
-            }
-        }
+        // branch-free shared microkernel (no zero skip: 0·inf and 0·NaN
+        // drives must propagate NaN just like the software GEMM)
+        ops::vecmat_accumulate(v, &self.g_eff_diff, self.cols, &mut out);
         for o in &mut out {
             *o *= self.weight_per_siemens;
         }
@@ -264,15 +259,45 @@ impl TiledMatrix {
         }
         let k = self.tile_size;
         let mut y = vec![0.0f32; self.out_features];
-        for (ti, row_tiles) in self.tiles.iter().enumerate() {
-            let bi = ti * k;
-            for (tj, tile) in row_tiles.iter().enumerate() {
-                let bj = tj * k;
-                let part = tile.mvm(&x[bi..bi + tile.rows()])?;
-                for (j, p) in part.iter().enumerate() {
-                    y[bj + j] += p;
+        let n_blocks = self.tiles.first().map_or(0, Vec::len);
+        let first_err: Mutex<Option<CrossbarError>> = Mutex::new(None);
+        // Output blocks are disjoint y ranges; within a block the input-tile
+        // contributions are folded in bi order regardless of which worker
+        // runs the block, so the sum is bit-identical at any thread count.
+        struct SendPtr(*mut f32);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let base = SendPtr(y.as_mut_ptr());
+        let base = &base;
+        pool::parallel_for_ranges(n_blocks, 1, |r| {
+            for bj in r {
+                let lo = bj * k;
+                let hi = (lo + k).min(self.out_features);
+                // SAFETY: each block index is claimed by exactly one task and
+                // blocks cover disjoint ranges of `y`.
+                let yb = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+                for (ti, row_tiles) in self.tiles.iter().enumerate() {
+                    let bi = ti * k;
+                    let tile = &row_tiles[bj];
+                    match tile.mvm(&x[bi..bi + tile.rows()]) {
+                        Ok(part) => {
+                            for (o, p) in yb.iter_mut().zip(&part) {
+                                *o += p;
+                            }
+                        }
+                        Err(e) => {
+                            let mut slot = first_err.lock().expect("tiled mvm error slot");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
                 }
             }
+        });
+        if let Some(e) = first_err.into_inner().expect("tiled mvm error slot") {
+            return Err(e);
         }
         Ok(y)
     }

@@ -1,8 +1,8 @@
 use crate::layer::{ActivationHook, HookSlot, Layer, Mode};
-use crate::util::num_threads;
 use crate::{NnError, Param};
-use ahw_tensor::{ops, Tensor};
-use std::sync::Arc;
+use ahw_tensor::{ops, pool, Tensor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Addresses one hook location in a [`Sequential`] model: the `layer`-th
 /// top-level layer, at one of its [`HookSlot`]s.
@@ -328,40 +328,42 @@ impl Sequential {
             .step_by(batch)
             .map(|lo| (lo, (lo + batch).min(n)))
             .collect();
-        let threads = num_threads().min(chunks.len()).max(1);
-        let correct: Result<usize, NnError> = std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for worker in 0..threads {
-                let chunks = &chunks;
-                let model = &*self;
-                let xv = images.as_slice();
-                let dims = images.dims();
-                handles.push(s.spawn(move || -> Result<usize, NnError> {
-                    let mut correct = 0usize;
-                    for (ci, &(lo, hi)) in chunks.iter().enumerate() {
-                        if ci % threads != worker {
-                            continue;
-                        }
-                        let mut bd = dims.to_vec();
-                        bd[0] = hi - lo;
-                        let xb = Tensor::from_vec(xv[lo * item..hi * item].to_vec(), &bd)?;
-                        let preds = model.predict(&xb)?;
-                        correct += preds
-                            .iter()
-                            .zip(&labels[lo..hi])
-                            .filter(|(p, l)| p == l)
-                            .count();
+        let xv = images.as_slice();
+        let dims = images.dims();
+        // integer counts commute, so any chunk schedule gives the same total
+        let correct = AtomicUsize::new(0);
+        let first_err: Mutex<Option<NnError>> = Mutex::new(None);
+        pool::parallel_for_ranges(chunks.len(), 1, |r| {
+            for ci in r {
+                let (lo, hi) = chunks[ci];
+                let res = (|| -> Result<usize, NnError> {
+                    let mut bd = dims.to_vec();
+                    bd[0] = hi - lo;
+                    let xb = Tensor::from_vec(xv[lo * item..hi * item].to_vec(), &bd)?;
+                    let preds = self.predict(&xb)?;
+                    Ok(preds
+                        .iter()
+                        .zip(&labels[lo..hi])
+                        .filter(|(p, l)| p == l)
+                        .count())
+                })();
+                match res {
+                    Ok(c) => {
+                        correct.fetch_add(c, Ordering::Relaxed);
                     }
-                    Ok(correct)
-                }));
+                    Err(e) => {
+                        let mut slot = first_err.lock().expect("accuracy error slot");
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
             }
-            let mut total = 0usize;
-            for h in handles {
-                total += h.join().expect("worker panicked")?;
-            }
-            Ok(total)
         });
-        Ok(correct? as f32 / n as f32)
+        if let Some(e) = first_err.into_inner().expect("accuracy error slot") {
+            return Err(e);
+        }
+        Ok(correct.into_inner() as f32 / n as f32)
     }
 }
 

@@ -1,32 +1,36 @@
-//! Batch-level parallelism helpers built on `std::thread::scope`.
+//! Batch-level parallelism helpers built on the shared worker pool.
 //!
 //! The convolution and linear layers dominate both training and hardware
-//! simulation time; they parallelize over batch items with these utilities
-//! (the workspace is std-only — no rayon, no crossbeam).
+//! simulation time; they parallelize over batch items with these utilities.
+//! All of them run on [`ahw_tensor::pool`] — the process-wide persistent
+//! worker pool — so no per-batch thread spawning happens anywhere in the
+//! workspace (which is std-only: no rayon, no crossbeam).
+
+use std::sync::Mutex;
+
+use ahw_tensor::pool;
 
 /// Number of worker threads to use for batch parallelism.
 ///
-/// Defaults to the machine's available parallelism; override with the
-/// `AHW_THREADS` environment variable (values below 1 are treated as 1).
-pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("AHW_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+/// Re-exported from [`ahw_tensor::pool::num_threads`], the single source of
+/// truth for the `AHW_THREADS` knob (unparsable or zero values mean 1;
+/// unset falls back to the machine's available parallelism).
+pub use ahw_tensor::pool::num_threads;
+
+/// Fixed number of reduction chunks for [`par_map_reduce`]: accumulator
+/// boundaries depend only on `n`, never on the thread count, so folding the
+/// per-chunk partials in chunk order gives bit-identical results at any
+/// `AHW_THREADS`.
+const MAP_REDUCE_CHUNKS: usize = 16;
 
 /// Runs `f(item_index, item_chunk)` for every `item_len`-sized chunk of
-/// `out`, distributing contiguous runs of items across worker threads.
+/// `out`, distributing contiguous runs of items across the worker pool.
 ///
 /// `out.len()` must be a multiple of `item_len`.
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics.
+/// Panics if a worker task panics.
 pub fn par_items_mut<F>(out: &mut [f32], item_len: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
@@ -35,92 +39,65 @@ where
         return;
     }
     debug_assert_eq!(out.len() % item_len, 0);
-    let n = out.len() / item_len;
-    let threads = num_threads().min(n);
-    if threads <= 1 {
-        for (i, chunk) in out.chunks_mut(item_len).enumerate() {
-            f(i, chunk);
+    pool::par_row_chunks_mut(out, item_len, 1, |first, rows| {
+        for (j, chunk) in rows.chunks_mut(item_len).enumerate() {
+            f(first + j, chunk);
         }
-        return;
-    }
-    let per = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        let mut rest = out;
-        let mut start = 0usize;
-        while !rest.is_empty() {
-            let take = (per * item_len).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let first = start;
-            start += take / item_len;
-            let f = &f;
-            s.spawn(move || {
-                for (j, chunk) in head.chunks_mut(item_len).enumerate() {
-                    f(first + j, chunk);
-                }
-            });
-        }
-        // scope joins all workers on exit and propagates panics
     });
 }
 
-/// Maps `f` over `0..n` on worker threads and reduces the per-thread partial
-/// results with `reduce`. `init` creates each thread's accumulator.
+/// Maps `f` over `0..n` on the worker pool and reduces the per-chunk partial
+/// results with `reduce`. `init` creates each chunk's accumulator.
 ///
-/// Used for gradient accumulation: each thread sums its batch items into a
-/// private buffer, then the buffers are folded together deterministically
-/// (in thread-range order).
+/// Used for gradient accumulation: each chunk sums its batch items into a
+/// private buffer, then the buffers are folded together in chunk order.
+/// Chunk boundaries depend only on `n` (at most [`MAP_REDUCE_CHUNKS`]
+/// chunks), so the result is bit-identical at any thread count.
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics.
+/// Panics if a worker task panics.
 pub fn par_map_reduce<A, F, R>(n: usize, init: impl Fn() -> A + Sync, f: F, reduce: R) -> A
 where
     A: Send,
     F: Fn(usize, &mut A) + Sync,
     R: Fn(A, A) -> A,
 {
-    let threads = num_threads().min(n.max(1));
-    if threads <= 1 {
+    if n == 0 {
+        return init();
+    }
+    let per = n.div_ceil(MAP_REDUCE_CHUNKS).max(1);
+    let chunks = n.div_ceil(per);
+    if chunks <= 1 {
         let mut acc = init();
         for i in 0..n {
             f(i, &mut acc);
         }
         return acc;
     }
-    let per = n.div_ceil(threads);
-    let mut parts: Vec<(usize, A)> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * per;
-            let hi = ((t + 1) * per).min(n);
-            if lo >= hi {
-                break;
+    let parts: Mutex<Vec<(usize, A)>> = Mutex::new(Vec::with_capacity(chunks));
+    pool::parallel_for_ranges(chunks, 1, |r| {
+        for c in r {
+            let lo = c * per;
+            let hi = (lo + per).min(n);
+            let mut acc = init();
+            for i in lo..hi {
+                f(i, &mut acc);
             }
-            let f = &f;
-            let init = &init;
-            handles.push(s.spawn(move || {
-                let mut acc = init();
-                for i in lo..hi {
-                    f(i, &mut acc);
-                }
-                (t, acc)
-            }));
+            parts.lock().expect("par_map_reduce parts lock").push((c, acc));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
     });
-    parts.sort_by_key(|(t, _)| *t);
+    let mut parts = parts.into_inner().expect("par_map_reduce parts lock");
+    parts.sort_by_key(|(c, _)| *c);
     let mut iter = parts.into_iter().map(|(_, a)| a);
-    let first = iter.next().expect("at least one partition");
+    let first = iter.next().expect("at least one chunk");
     iter.fold(first, reduce)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ahw_tensor::pool::set_thread_override;
 
     #[test]
     fn par_items_mut_touches_every_item() {
@@ -156,38 +133,35 @@ mod tests {
     }
 
     #[test]
-    fn par_map_reduce_is_deterministic_for_vec_sum() {
-        // floats reduced in fixed partition order must be reproducible
-        let a = par_map_reduce(
-            97,
-            || vec![0.0f32; 4],
-            |i, acc| {
-                for (k, v) in acc.iter_mut().enumerate() {
-                    *v += ((i * 7 + k) % 13) as f32 * 0.1;
-                }
-            },
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            },
+    fn par_map_reduce_is_thread_count_invariant_for_vec_sum() {
+        // float accumulation with fixed chunk boundaries must be bit-identical
+        // no matter how many workers run the chunks
+        let run = || {
+            par_map_reduce(
+                97,
+                || vec![0.0f32; 4],
+                |i, acc| {
+                    for (k, v) in acc.iter_mut().enumerate() {
+                        *v += ((i * 7 + k) % 13) as f32 * 0.1;
+                    }
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+        };
+        let mut results: Vec<Vec<u32>> = Vec::new();
+        for &threads in &[1usize, 2, 4, 7] {
+            set_thread_override(Some(threads));
+            results.push(run().iter().map(|v| v.to_bits()).collect());
+            set_thread_override(None);
+        }
+        assert!(
+            results.iter().all(|r| *r == results[0]),
+            "par_map_reduce result depends on thread count"
         );
-        let b = par_map_reduce(
-            97,
-            || vec![0.0f32; 4],
-            |i, acc| {
-                for (k, v) in acc.iter_mut().enumerate() {
-                    *v += ((i * 7 + k) % 13) as f32 * 0.1;
-                }
-            },
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            },
-        );
-        assert_eq!(a, b);
     }
 }

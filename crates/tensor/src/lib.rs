@@ -34,6 +34,7 @@ mod tensor;
 pub mod check;
 pub mod io;
 pub mod ops;
+pub mod pool;
 pub mod quant;
 pub mod rng;
 

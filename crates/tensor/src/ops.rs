@@ -4,11 +4,130 @@
 //! These are the hot paths for both software inference/training and for the
 //! hardware models (the crossbar substrate lowers convolutions with the same
 //! `im2col` so that every dot-product flows through its tiled MVM).
+//!
+//! All matrix kernels partition their **output rows** over the persistent
+//! worker pool ([`crate::pool`]). Each output row is accumulated in the
+//! exact same serial order regardless of how rows are distributed, so
+//! results are bit-identical at any `AHW_THREADS` value. The microkernels
+//! use 4-way split accumulators with no data-dependent branches: they
+//! autovectorize, and (unlike the earlier `if aik == 0.0` skip) they
+//! preserve IEEE non-finite semantics — `0·∞` and `0·NaN` contribute NaN
+//! instead of being silently dropped.
 
-use crate::{Tensor, TensorError};
+use crate::{pool, Tensor, TensorError};
 
 /// Cache-blocking tile edge for the GEMM microkernel, in elements.
 const BLOCK: usize = 64;
+
+/// Minimum number of multiply–accumulates a parallel chunk should amortize;
+/// below this, kernels stay on the calling thread.
+const PAR_MIN_WORK: usize = 32 * 1024;
+
+/// Rows per parallel chunk for a kernel doing `work_per_row` mul-adds per
+/// output row.
+fn par_min_rows(work_per_row: usize) -> usize {
+    (PAR_MIN_WORK / work_per_row.max(1)).max(1)
+}
+
+/// Fused 4-row AXPY: `orow[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j]`.
+///
+/// The four products are folded left-to-right per element, so the
+/// accumulation order is fixed by the loop structure alone.
+#[inline]
+fn axpy4(orow: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let len = orow.len();
+    let (b0, b1, b2, b3) = (&b0[..len], &b1[..len], &b2[..len], &b3[..len]);
+    for j in 0..len {
+        orow[j] += a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+    }
+}
+
+/// Register-blocked 4×4 GEMM inner kernel: four output rows × four k-steps.
+/// Every `b` element loaded serves four output rows, quartering the
+/// bandwidth the plain AXPY kernel needs — the 256³ GEMM is L2-bound, not
+/// flop-bound, so this is where the speedup lives.
+///
+/// Each row's update is the exact expression [`axpy4`] computes, so a row
+/// produces bit-identical results whether it goes through the 4-row block
+/// or the single-row tail path (and therefore under any row partition).
+#[inline]
+fn axpy4x4(
+    o: [&mut [f32]; 4],
+    a: [[f32; 4]; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    let [o0, o1, o2, o3] = o;
+    let len = o0.len();
+    let (b0, b1, b2, b3) = (&b0[..len], &b1[..len], &b2[..len], &b3[..len]);
+    let (o1, o2, o3) = (&mut o1[..len], &mut o2[..len], &mut o3[..len]);
+    for j in 0..len {
+        let (x0, x1, x2, x3) = (b0[j], b1[j], b2[j], b3[j]);
+        o0[j] += a[0][0] * x0 + a[0][1] * x1 + a[0][2] * x2 + a[0][3] * x3;
+        o1[j] += a[1][0] * x0 + a[1][1] * x1 + a[1][2] * x2 + a[1][3] * x3;
+        o2[j] += a[2][0] * x0 + a[2][1] * x1 + a[2][2] * x2 + a[2][3] * x3;
+        o3[j] += a[3][0] * x0 + a[3][1] * x1 + a[3][2] * x2 + a[3][3] * x3;
+    }
+}
+
+/// Single-row AXPY tail: `orow[j] += a · brow[j]` (no zero skip).
+#[inline]
+fn axpy1(orow: &mut [f32], a: f32, brow: &[f32]) {
+    for (o, &x) in orow.iter_mut().zip(brow) {
+        *o += a * x;
+    }
+}
+
+/// Split-accumulator dot product: four interleaved partial sums combined in
+/// a fixed tree order, plus a serial tail. Branch-free and autovectorizes.
+#[inline]
+fn dot4(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let xq = x.chunks_exact(4);
+    let yq = y.chunks_exact(4);
+    let xr = xq.remainder();
+    let yr = yq.remainder();
+    for (xs, ys) in xq.zip(yq) {
+        acc[0] += xs[0] * ys[0];
+        acc[1] += xs[1] * ys[1];
+        acc[2] += xs[2] * ys[2];
+        acc[3] += xs[3] * ys[3];
+    }
+    let mut tail = 0.0f32;
+    for (a, b) in xr.iter().zip(yr) {
+        tail += a * b;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Accumulates the vector–matrix product `out[j] += Σ_i v[i] · mat[i·cols + j]`
+/// over an `(rows × cols)` row-major matrix — the kernel behind the crossbar
+/// tile MVM. `v.len()` rows are consumed; `out.len()` must be `cols`.
+///
+/// Accumulation is 4-way unrolled over `i` with a fixed fold order and no
+/// zero skip, matching the GEMM microkernel's numeric behavior.
+pub fn vecmat_accumulate(v: &[f32], mat: &[f32], cols: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), cols);
+    debug_assert!(mat.len() >= v.len() * cols);
+    let mut i = 0usize;
+    while i + 4 <= v.len() {
+        axpy4(
+            out,
+            [v[i], v[i + 1], v[i + 2], v[i + 3]],
+            &mat[i * cols..(i + 1) * cols],
+            &mat[(i + 1) * cols..(i + 2) * cols],
+            &mat[(i + 2) * cols..(i + 3) * cols],
+            &mat[(i + 3) * cols..(i + 4) * cols],
+        );
+        i += 4;
+    }
+    while i < v.len() {
+        axpy1(out, v[i], &mat[i * cols..(i + 1) * cols]);
+        i += 1;
+    }
+}
 
 fn require_rank2(t: &Tensor, op: &'static str) -> Result<(), TensorError> {
     if t.rank() != 2 {
@@ -42,25 +161,67 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    // i-k-j loop order with k-blocking: streams through b rows, accumulates
-    // into the output row, and keeps the working set inside L1/L2.
-    for kb in (0..k).step_by(BLOCK) {
-        let kend = (kb + BLOCK).min(k);
-        for i in 0..m {
-            let arow = &av[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for kk in kb..kend {
-                let aik = arow[kk];
-                if aik == 0.0 {
-                    continue;
+    // Row-partitioned i-k-j order with k-blocking and 4-row register
+    // blocking: each chunk of output rows streams the same block of b rows
+    // (L2 resident) while every row's accumulation order stays fixed — kb
+    // blocks ascending, kk ascending 4 at a time, products folded
+    // left-to-right — independent of the partition and of whether the row
+    // went through the blocked or the tail path.
+    pool::par_row_chunks_mut(&mut out, n, par_min_rows(k * n), |first, orows| {
+        let rows = orows.len() / n;
+        for kb in (0..k).step_by(BLOCK) {
+            let kend = (kb + BLOCK).min(k);
+            let mut r = 0usize;
+            while r + 4 <= rows {
+                let (c0, rest) = orows[r * n..(r + 4) * n].split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, c3) = rest.split_at_mut(n);
+                let arow = |rr: usize| &av[(first + r + rr) * k..(first + r + rr + 1) * k];
+                let (a0, a1, a2, a3) = (arow(0), arow(1), arow(2), arow(3));
+                let mut kk = kb;
+                while kk + 4 <= kend {
+                    let quad = |a: &[f32]| [a[kk], a[kk + 1], a[kk + 2], a[kk + 3]];
+                    axpy4x4(
+                        [&mut c0[..], &mut c1[..], &mut c2[..], &mut c3[..]],
+                        [quad(a0), quad(a1), quad(a2), quad(a3)],
+                        &bv[kk * n..(kk + 1) * n],
+                        &bv[(kk + 1) * n..(kk + 2) * n],
+                        &bv[(kk + 2) * n..(kk + 3) * n],
+                        &bv[(kk + 3) * n..(kk + 4) * n],
+                    );
+                    kk += 4;
                 }
-                let brow = &bv[kk * n..(kk + 1) * n];
-                for (o, &bkj) in orow.iter_mut().zip(brow) {
-                    *o += aik * bkj;
+                while kk < kend {
+                    let brow = &bv[kk * n..(kk + 1) * n];
+                    axpy1(c0, a0[kk], brow);
+                    axpy1(c1, a1[kk], brow);
+                    axpy1(c2, a2[kk], brow);
+                    axpy1(c3, a3[kk], brow);
+                    kk += 1;
+                }
+                r += 4;
+            }
+            for (rr, orow) in orows[r * n..].chunks_mut(n).enumerate() {
+                let arow = &av[(first + r + rr) * k..(first + r + rr + 1) * k];
+                let mut kk = kb;
+                while kk + 4 <= kend {
+                    axpy4(
+                        orow,
+                        [arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]],
+                        &bv[kk * n..(kk + 1) * n],
+                        &bv[(kk + 1) * n..(kk + 2) * n],
+                        &bv[(kk + 2) * n..(kk + 3) * n],
+                        &bv[(kk + 3) * n..(kk + 4) * n],
+                    );
+                    kk += 4;
+                }
+                while kk < kend {
+                    axpy1(orow, arow[kk], &bv[kk * n..(kk + 1) * n]);
+                    kk += 1;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -89,17 +250,14 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
+    pool::par_row_chunks_mut(&mut out, n, par_min_rows(k * n), |first, orows| {
+        for (r, orow) in orows.chunks_mut(n).enumerate() {
+            let arow = &av[(first + r) * k..(first + r + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot4(arow, &bv[j * k..(j + 1) * k]);
             }
-            out[i * n + j] = acc;
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -126,20 +284,37 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for kk in 0..k {
-        let arow = &av[kk * m..(kk + 1) * m];
-        let brow = &bv[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aki = arow[i];
-            if aki == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aki * bkj;
+    // Same row-partitioned structure as `matmul`; the left operand is read
+    // down its columns (stride m), the right operand by rows.
+    pool::par_row_chunks_mut(&mut out, n, par_min_rows(k * n), |first, orows| {
+        for kb in (0..k).step_by(BLOCK) {
+            let kend = (kb + BLOCK).min(k);
+            for (r, orow) in orows.chunks_mut(n).enumerate() {
+                let i = first + r;
+                let mut kk = kb;
+                while kk + 4 <= kend {
+                    axpy4(
+                        orow,
+                        [
+                            av[kk * m + i],
+                            av[(kk + 1) * m + i],
+                            av[(kk + 2) * m + i],
+                            av[(kk + 3) * m + i],
+                        ],
+                        &bv[kk * n..(kk + 1) * n],
+                        &bv[(kk + 1) * n..(kk + 2) * n],
+                        &bv[(kk + 2) * n..(kk + 3) * n],
+                        &bv[(kk + 3) * n..(kk + 4) * n],
+                    );
+                    kk += 4;
+                }
+                while kk < kend {
+                    axpy1(orow, av[kk * m + i], &bv[kk * n..(kk + 1) * n]);
+                    kk += 1;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -222,18 +397,32 @@ pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
     let cols = oh * ow;
     let mut out = vec![0.0f32; g.patch_len() * cols];
     let inp = input.as_slice();
-    let mut row = 0usize;
-    for c in 0..g.channels {
-        let plane = &inp[c * g.height * g.width..(c + 1) * g.height * g.width];
-        for ky in 0..g.kernel {
-            for kx in 0..g.kernel {
-                let orow = &mut out[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
-                    if iy < 0 || iy >= g.height as isize {
-                        continue;
+    // Each patch row (c, ky, kx) gathers into a disjoint output row, so the
+    // rows partition freely over the pool.
+    pool::par_row_chunks_mut(&mut out, cols, par_min_rows(cols), |first, orows| {
+        for (r, orow) in orows.chunks_mut(cols).enumerate() {
+            let row = first + r;
+            let c = row / (g.kernel * g.kernel);
+            let ky = (row / g.kernel) % g.kernel;
+            let kx = row % g.kernel;
+            let plane = &inp[c * g.height * g.width..(c + 1) * g.height * g.width];
+            for oy in 0..oh {
+                let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                if iy < 0 || iy >= g.height as isize {
+                    continue;
+                }
+                let irow = &plane[iy as usize * g.width..(iy as usize + 1) * g.width];
+                if g.stride == 1 {
+                    // contiguous span: ix = ox + kx - padding stays in range
+                    // for ox in [pad-kx, width-1+pad-kx] ∩ [0, ow)
+                    let lo = g.padding.saturating_sub(kx);
+                    let hi = (g.width + g.padding - kx).min(ow);
+                    if lo < hi {
+                        let src = lo + kx - g.padding;
+                        orow[oy * ow + lo..oy * ow + hi]
+                            .copy_from_slice(&irow[src..src + (hi - lo)]);
                     }
-                    let irow = &plane[iy as usize * g.width..(iy as usize + 1) * g.width];
+                } else {
                     for ox in 0..ow {
                         let ix = (ox * g.stride + kx) as isize - g.padding as isize;
                         if ix >= 0 && ix < g.width as isize {
@@ -241,10 +430,9 @@ pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
                         }
                     }
                 }
-                row += 1;
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[g.patch_len(), cols])
 }
 
@@ -268,28 +456,40 @@ pub fn col2im(cols_t: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> 
     }
     let mut out = vec![0.0f32; g.channels * g.height * g.width];
     let cv = cols_t.as_slice();
-    let mut row = 0usize;
-    for c in 0..g.channels {
-        let plane = &mut out[c * g.height * g.width..(c + 1) * g.height * g.width];
-        for ky in 0..g.kernel {
-            for kx in 0..g.kernel {
-                let crow = &cv[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
-                    if iy < 0 || iy >= g.height as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
-                        if ix >= 0 && ix < g.width as isize {
-                            plane[iy as usize * g.width + ix as usize] += crow[oy * ow + ox];
+    let plane_len = g.height * g.width;
+    // Overlapping scatters stay within one channel plane, so channels are
+    // the natural disjoint partition; each plane keeps its serial
+    // (ky, kx, oy, ox) accumulation order at every thread count.
+    pool::par_row_chunks_mut(
+        &mut out,
+        plane_len,
+        par_min_rows(g.kernel * g.kernel * cols),
+        |first, planes| {
+            for (pc, plane) in planes.chunks_mut(plane_len).enumerate() {
+                let c = first + pc;
+                let mut row = c * g.kernel * g.kernel;
+                for ky in 0..g.kernel {
+                    for kx in 0..g.kernel {
+                        let crow = &cv[row * cols..(row + 1) * cols];
+                        for oy in 0..oh {
+                            let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                            if iy < 0 || iy >= g.height as isize {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                                if ix >= 0 && ix < g.width as isize {
+                                    plane[iy as usize * g.width + ix as usize] +=
+                                        crow[oy * ow + ox];
+                                }
+                            }
                         }
+                        row += 1;
                     }
                 }
-                row += 1;
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, &[g.channels, g.height, g.width])
 }
 
@@ -302,18 +502,19 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
     require_rank2(logits, "softmax_rows")?;
     let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
     let mut out = logits.as_slice().to_vec();
-    for r in 0..rows {
-        let row = &mut out[r * cols..(r + 1) * cols];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - m).exp();
-            sum += *v;
+    pool::par_row_chunks_mut(&mut out, cols.max(1), par_min_rows(cols), |_, rows_block| {
+        for row in rows_block.chunks_mut(cols.max(1)) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
         }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
-    }
+    });
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -405,6 +606,89 @@ mod tests {
         let a = rand_tensor(&[3, 200], 3);
         let b = rand_tensor(&[200, 4], 4);
         assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_unroll_remainders_match_naive() {
+        // k values exercising every 4-way remainder and a block boundary
+        for k in [1usize, 2, 3, 5, 63, 64, 65, 66, 67] {
+            let a = rand_tensor(&[3, k], 100 + k as u64);
+            let b = rand_tensor(&[k, 6], 200 + k as u64);
+            assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_nonfinite_products() {
+        // A zero in `a` must not skip the product: 0·∞ and 0·NaN are NaN.
+        // The old `if aik == 0.0 { continue }` kernel silently returned 0.
+        let a = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let b = Tensor::from_vec(
+            vec![f32::INFINITY, 1.0, 2.0, f32::NAN, 3.0, 4.0],
+            &[3, 2],
+        )
+        .unwrap();
+        let y = matmul(&a, &b).unwrap();
+        assert!(y.as_slice()[0].is_nan(), "0·inf row lost: {:?}", y.as_slice());
+        assert!(y.as_slice()[1].is_nan(), "0·NaN row lost: {:?}", y.as_slice());
+
+        let ta = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[3, 1]).unwrap();
+        let yt = matmul_transa(&ta, &b).unwrap();
+        assert!(yt.as_slice()[0].is_nan() && yt.as_slice()[1].is_nan());
+
+        let tb = Tensor::from_vec(vec![f32::INFINITY, 1.0, 2.0], &[1, 3]).unwrap();
+        let yb = matmul_transb(&a, &tb).unwrap();
+        assert!(yb.as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn vecmat_accumulate_matches_naive_and_keeps_nan() {
+        let rows = 7;
+        let cols = 5;
+        let mat = rand_tensor(&[rows, cols], 77);
+        let v = rand_tensor(&[rows], 78);
+        let mut out = vec![0.0f32; cols];
+        vecmat_accumulate(v.as_slice(), mat.as_slice(), cols, &mut out);
+        for j in 0..cols {
+            let expect: f32 = (0..rows)
+                .map(|i| v.as_slice()[i] * mat.as_slice()[i * cols + j])
+                .sum();
+            assert!((out[j] - expect).abs() < 1e-4, "{} vs {expect}", out[j]);
+        }
+        // zero input element times an infinite weight must poison the column
+        let mut out = vec![0.0f32; 1];
+        vecmat_accumulate(&[0.0, 1.0], &[f32::INFINITY, 1.0], 1, &mut out);
+        assert!(out[0].is_nan());
+    }
+
+    #[test]
+    fn kernels_are_bit_identical_across_thread_counts() {
+        let a = rand_tensor(&[65, 130], 51);
+        let b = rand_tensor(&[130, 67], 52);
+        // geometry large enough that im2col's row partition engages the pool
+        let g = ConvGeometry {
+            channels: 8,
+            height: 32,
+            width: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let x = rand_tensor(&[8, 32, 32], 53);
+        let reference = {
+            crate::pool::set_thread_override(Some(1));
+            let r = (matmul(&a, &b).unwrap(), im2col(&x, &g).unwrap());
+            crate::pool::set_thread_override(None);
+            r
+        };
+        for threads in [2usize, 4, 7] {
+            crate::pool::set_thread_override(Some(threads));
+            let m = matmul(&a, &b).unwrap();
+            let c = im2col(&x, &g).unwrap();
+            crate::pool::set_thread_override(None);
+            assert_eq!(m, reference.0, "matmul differs at {threads} threads");
+            assert_eq!(c, reference.1, "im2col differs at {threads} threads");
+        }
     }
 
     #[test]

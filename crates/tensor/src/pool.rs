@@ -1,0 +1,502 @@
+//! Persistent worker pool for data-parallel kernels (std-only).
+//!
+//! Every parallel code path in the workspace — the GEMM/`im2col` kernels in
+//! [`crate::ops`], batch parallelism in `ahw-nn`, attack sharding in
+//! `ahw-attacks`, and the crossbar tiled MVM — runs on this one pool instead
+//! of spawning fresh `std::thread::scope` threads per call, so thread
+//! creation is paid once per process rather than once per batch.
+//!
+//! ## Lifecycle
+//!
+//! The pool is a lazily-initialized process global: the first parallel call
+//! spawns up to `num_threads() - 1` detached workers (the calling thread
+//! always participates as the extra worker), and later calls may grow the
+//! pool if a larger thread count is requested. Idle workers block on a
+//! condvar and cost nothing. Workers are never torn down; they park until
+//! process exit.
+//!
+//! ## Execution model
+//!
+//! [`parallel_for_ranges`] splits `0..n` into contiguous index ranges and
+//! lets workers *steal* chunks off a shared atomic cursor. Which thread runs
+//! which chunk is scheduling-dependent, but callers only pass tasks whose
+//! output is independent of the partition (disjoint row writes, or
+//! fixed-boundary partial reductions folded in chunk order), so results are
+//! bit-identical at any thread count — see the "Threading model" section of
+//! `DESIGN.md` for the determinism argument.
+//!
+//! At `num_threads() == 1` (or for single-chunk work, or when called from
+//! inside a pool task) everything runs inline on the caller's thread with no
+//! synchronization at all.
+//!
+//! ## Panics
+//!
+//! A panic inside a task is caught on the worker, the remaining chunks still
+//! run, and the panic is re-raised on the calling thread once the job
+//! completes — mirroring `std::thread::scope` semantics closely enough for
+//! test harnesses.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool size — guards against a pathological `AHW_THREADS`.
+const MAX_WORKERS: usize = 256;
+
+/// Number of chunks to split a job into per participating thread; modest
+/// oversubscription smooths load imbalance between chunks.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Parses an `AHW_THREADS`-style value: unparsable or zero values mean 1.
+///
+/// This is the single source of truth for the knob's semantics (it used to
+/// be duplicated between `ahw-nn` and `ahw-attacks`).
+pub fn parse_thread_count(raw: &str) -> usize {
+    raw.trim().parse::<usize>().map_or(1, |n| n.max(1))
+}
+
+/// Process-wide override used by determinism tests to pin the worker count
+/// without touching the environment (0 = no override).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides [`num_threads`] process-wide (tests use this to compare runs at
+/// several worker counts inside one process). `None` restores the
+/// `AHW_THREADS`/auto behavior.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0).min(MAX_WORKERS), Ordering::SeqCst);
+}
+
+/// Number of worker threads parallel kernels use.
+///
+/// Resolution order: the test override ([`set_thread_override`]), then the
+/// `AHW_THREADS` environment variable (unparsable or zero values are treated
+/// as 1), then the machine's available parallelism.
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    match std::env::var("AHW_THREADS") {
+        Ok(v) => parse_thread_count(&v).min(MAX_WORKERS),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_WORKERS),
+    }
+}
+
+/// Type-erased pointer to the job closure plus a monomorphized call shim.
+/// The pointee lives on the caller's stack; [`run`] joins every chunk
+/// before returning, so workers never dereference it after the borrow ends.
+#[derive(Clone, Copy)]
+struct TaskPtr {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+impl TaskPtr {
+    fn erase<F: Fn(usize) + Sync>(task: &F) -> TaskPtr {
+        unsafe fn shim<F: Fn(usize)>(data: *const (), idx: usize) {
+            // SAFETY: `data` was produced from `&F` by `erase` and the pool
+            // only calls the shim while that borrow is alive.
+            unsafe { (*data.cast::<F>())(idx) }
+        }
+        TaskPtr {
+            data: std::ptr::from_ref(task).cast(),
+            call: shim::<F>,
+        }
+    }
+}
+
+// SAFETY: the pointee is `Sync` (shared-callable from any thread) and the
+// pool guarantees the pointer is only dereferenced while the caller is
+// blocked inside `run`, which outlives every dereference.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One published parallel-for: workers race on `next` to claim chunk
+/// indices in `0..chunks` and bump `done` as they finish.
+struct Job {
+    task: TaskPtr,
+    chunks: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+impl Job {
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.chunks
+    }
+}
+
+/// Single job slot plus the caller-exclusion flag.
+struct Slot {
+    job: Option<Arc<Job>>,
+    busy: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Workers wait here for a job to appear.
+    work_ready: Condvar,
+    /// Callers wait here for job completion or for the slot to free.
+    job_done: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                job: None,
+                busy: false,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+thread_local! {
+    /// Depth of pool jobs running on this thread; nested parallel calls
+    /// fall back to inline execution instead of deadlocking on the slot.
+    static JOB_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Whether the current code is already executing inside a pool task.
+fn in_pool_task() -> bool {
+    JOB_DEPTH.with(|d| d.get()) > 0
+}
+
+impl Pool {
+    /// Grows the pool to at least `workers` background threads.
+    fn ensure_workers(&self, workers: usize) {
+        let workers = workers.min(MAX_WORKERS - 1);
+        let mut spawned = self.spawned.lock().expect("pool spawn lock");
+        while *spawned < workers {
+            let shared = Arc::clone(&self.shared);
+            let id = *spawned;
+            std::thread::Builder::new()
+                .name(format!("ahw-pool-{id}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+            *spawned += 1;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().expect("pool slot lock");
+            loop {
+                if let Some(job) = slot.job.as_ref() {
+                    if !job.exhausted() {
+                        break Arc::clone(job);
+                    }
+                }
+                slot = shared.work_ready.wait(slot).expect("pool slot lock");
+            }
+        };
+        run_chunks(shared, &job);
+    }
+}
+
+/// Claims and runs chunks of `job` until the cursor is exhausted; wakes the
+/// caller when the last chunk finishes.
+fn run_chunks(shared: &Shared, job: &Job) {
+    JOB_DEPTH.with(|d| d.set(d.get() + 1));
+    loop {
+        let idx = job.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= job.chunks {
+            break;
+        }
+        let task = job.task;
+        // SAFETY: the caller is blocked in `run` until `done == chunks`,
+        // so the closure `task` points to is still alive.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            (task.call)(task.data, idx);
+        }));
+        if outcome.is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.chunks {
+            let _guard = shared.slot.lock().expect("pool slot lock");
+            shared.job_done.notify_all();
+        }
+    }
+    JOB_DEPTH.with(|d| d.set(d.get() - 1));
+}
+
+/// Runs `task(chunk_index)` for every index in `0..chunks` across the pool,
+/// with the calling thread participating. Blocks until every chunk ran.
+fn run<F: Fn(usize) + Sync>(chunks: usize, threads: usize, task: &F) {
+    debug_assert!(threads >= 2 && chunks >= 2);
+    let pool = pool();
+    pool.ensure_workers(threads - 1);
+    let job = Arc::new(Job {
+        task: TaskPtr::erase(task),
+        chunks,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+    });
+    {
+        let mut slot = pool.shared.slot.lock().expect("pool slot lock");
+        while slot.busy {
+            slot = pool.shared.job_done.wait(slot).expect("pool slot lock");
+        }
+        slot.busy = true;
+        slot.job = Some(Arc::clone(&job));
+    }
+    pool.shared.work_ready.notify_all();
+    run_chunks(&pool.shared, &job);
+    {
+        let mut slot = pool.shared.slot.lock().expect("pool slot lock");
+        while job.done.load(Ordering::Acquire) < job.chunks {
+            slot = pool.shared.job_done.wait(slot).expect("pool slot lock");
+        }
+        slot.job = None;
+        slot.busy = false;
+    }
+    pool.shared.job_done.notify_all();
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("ahw_tensor::pool task panicked");
+    }
+}
+
+/// Chunked parallel-for over `0..n`: calls `body` on contiguous, disjoint
+/// index ranges that exactly cover `0..n`, from the pool's worker threads
+/// plus the calling thread.
+///
+/// `min_chunk` bounds the smallest range handed to a worker, so tiny
+/// problems never pay synchronization overhead. At one thread (or when
+/// already inside a pool task) the whole range runs inline as `body(0..n)`.
+///
+/// Callers must ensure `body`'s observable result is independent of the
+/// range boundaries (e.g. each index writes a disjoint output row); this is
+/// what keeps results bit-identical across thread counts.
+///
+/// # Panics
+///
+/// Propagates panics from `body`.
+pub fn parallel_for_ranges<F>(n: usize, min_chunk: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let min_chunk = min_chunk.max(1);
+    if threads <= 1 || n <= min_chunk || in_pool_task() {
+        body(0..n);
+        return;
+    }
+    let chunk = min_chunk.max(n.div_ceil(threads * CHUNKS_PER_THREAD));
+    let chunks = n.div_ceil(chunk);
+    if chunks <= 1 {
+        body(0..n);
+        return;
+    }
+    let task = move |idx: usize| {
+        let start = idx * chunk;
+        body(start..(start + chunk).min(n));
+    };
+    run(chunks, threads.min(chunks), &task);
+}
+
+/// Mutable row-partition helper: splits `out` into items of `row_len`
+/// contiguous elements and calls `body(first_row, rows_slice)` on disjoint
+/// row blocks in parallel. `out.len()` must be a multiple of `row_len`.
+///
+/// # Panics
+///
+/// Propagates panics from `body`; panics in debug builds if `out.len()` is
+/// not a multiple of `row_len`.
+pub fn par_row_chunks_mut<F>(out: &mut [f32], row_len: usize, min_rows: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() || row_len == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % row_len, 0);
+    let rows = out.len() / row_len;
+    let base = SendPtr(out.as_mut_ptr());
+    let base = &base;
+    parallel_for_ranges(rows, min_rows.max(1), |r: Range<usize>| {
+        // SAFETY: ranges from `parallel_for_ranges` are disjoint and within
+        // `0..rows`, so each slice is an exclusive view of its rows.
+        let block = unsafe {
+            std::slice::from_raw_parts_mut(base.0.add(r.start * row_len), r.len() * row_len)
+        };
+        body(r.start, block);
+    });
+}
+
+/// Raw mutable pointer that may cross threads; safe because the pool hands
+/// every range to exactly one task.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Fixed boundary (in elements) for deterministic chunked `f32` reductions:
+/// partial sums are formed per 4096-element chunk and folded in chunk
+/// order, so the result depends only on the data — never on the thread
+/// count — while large inputs still parallelize.
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// Deterministic (thread-count-invariant) sum of `data`, mapping each
+/// element through `map` first.
+///
+/// Accumulation order is fixed: serial within each [`REDUCE_CHUNK`]-sized
+/// chunk, then a serial fold of the per-chunk partials in chunk order. The
+/// chunks themselves may be computed on any thread.
+pub fn sum_mapped<F>(data: &[f32], map: F) -> f32
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    let serial = |chunk: &[f32]| chunk.iter().fold(0.0f32, |acc, &v| acc + map(v));
+    if data.len() <= REDUCE_CHUNK {
+        return serial(data);
+    }
+    let chunks = data.len().div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0f32; chunks];
+    let base = SendPtr(partials.as_mut_ptr());
+    let base = &base;
+    parallel_for_ranges(chunks, 1, |r: Range<usize>| {
+        for idx in r {
+            let lo = idx * REDUCE_CHUNK;
+            let hi = (lo + REDUCE_CHUNK).min(data.len());
+            // SAFETY: each chunk index is visited by exactly one task.
+            unsafe { *base.0.add(idx) = serial(&data[lo..hi]) };
+        }
+    });
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn parse_treats_garbage_and_zero_as_one() {
+        assert_eq!(parse_thread_count("0"), 1);
+        assert_eq!(parse_thread_count(""), 1);
+        assert_eq!(parse_thread_count("banana"), 1);
+        assert_eq!(parse_thread_count("-3"), 1);
+        assert_eq!(parse_thread_count("2.5"), 1);
+        assert_eq!(parse_thread_count(" 4 "), 4);
+        assert_eq!(parse_thread_count("1"), 1);
+        assert_eq!(parse_thread_count("16"), 16);
+    }
+
+    #[test]
+    fn override_wins_and_restores() {
+        set_thread_override(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_thread_override(None);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_exactly_once() {
+        for &threads in &[1usize, 2, 4, 7] {
+            let n = 1013;
+            let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            set_thread_override(Some(threads));
+            parallel_for_ranges(n, 1, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            set_thread_override(None);
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "coverage broken at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn row_chunks_write_disjoint_rows() {
+        let mut out = vec![0.0f32; 37 * 3];
+        set_thread_override(Some(4));
+        par_row_chunks_mut(&mut out, 3, 1, |first, rows| {
+            for (j, row) in rows.chunks_mut(3).enumerate() {
+                for (k, v) in row.iter_mut().enumerate() {
+                    *v = ((first + j) * 10 + k) as f32;
+                }
+            }
+        });
+        set_thread_override(None);
+        for i in 0..37 {
+            for k in 0..3 {
+                assert_eq!(out[i * 3 + k], (i * 10 + k) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        set_thread_override(Some(4));
+        let outer: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        parallel_for_ranges(64, 1, |r| {
+            for i in r {
+                // a nested parallel call must not deadlock
+                parallel_for_ranges(8, 1, |inner| {
+                    outer[i].fetch_add(inner.len() as u32, Ordering::Relaxed);
+                });
+            }
+        });
+        set_thread_override(None);
+        assert!(outer.iter().all(|h| h.load(Ordering::Relaxed) == 8));
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        set_thread_override(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            parallel_for_ranges(64, 1, |r| {
+                if r.contains(&13) {
+                    panic!("boom");
+                }
+            });
+        });
+        set_thread_override(None);
+        assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    #[test]
+    fn sum_mapped_is_thread_count_invariant() {
+        let data: Vec<f32> = (0..20_000).map(|i| ((i % 17) as f32) * 0.13 - 1.0).collect();
+        let mut sums = Vec::new();
+        for &threads in &[1usize, 2, 4, 7] {
+            set_thread_override(Some(threads));
+            sums.push(sum_mapped(&data, |v| v * v).to_bits());
+            set_thread_override(None);
+        }
+        assert!(
+            sums.iter().all(|&s| s == sums[0]),
+            "chunked reduction depends on thread count"
+        );
+    }
+
+    #[test]
+    fn sum_mapped_small_input_is_serial_sum() {
+        let data = [1.5f32, -2.0, 0.25];
+        let expect = data.iter().fold(0.0f32, |a, &v| a + v * 2.0);
+        assert_eq!(sum_mapped(&data, |v| v * 2.0).to_bits(), expect.to_bits());
+    }
+}

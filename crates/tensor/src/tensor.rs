@@ -1,4 +1,8 @@
-use crate::{ops, Shape, TensorError};
+use crate::{ops, pool, Shape, TensorError};
+
+/// Minimum elements per chunk before elementwise ops engage the worker
+/// pool; smaller tensors run inline with zero synchronization.
+const ELEMWISE_MIN_CHUNK: usize = 32 * 1024;
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
@@ -161,19 +165,31 @@ impl Tensor {
         Ok(())
     }
 
-    /// Applies `f` to every element, returning a new tensor.
-    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
+    /// Applies `f` to every element, returning a new tensor. Large tensors
+    /// partition over the worker pool (elementwise maps are trivially
+    /// deterministic under any partition).
+    pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Self {
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        pool::par_row_chunks_mut(&mut data, 1, ELEMWISE_MIN_CHUNK, |first, out| {
+            let len = out.len();
+            for (o, &v) in out.iter_mut().zip(&src[first..first + len]) {
+                *o = f(v);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_in_place<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
+        pool::par_row_chunks_mut(&mut self.data, 1, ELEMWISE_MIN_CHUNK, |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Elementwise binary operation.
@@ -181,7 +197,7 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
-    pub fn zip<F: Fn(f32, f32) -> f32>(
+    pub fn zip<F: Fn(f32, f32) -> f32 + Sync>(
         &self,
         other: &Tensor,
         op: &'static str,
@@ -194,14 +210,21 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
+        let mut data = vec![0.0f32; self.data.len()];
+        let (lhs, rhs) = (&self.data, &other.data);
+        pool::par_row_chunks_mut(&mut data, 1, ELEMWISE_MIN_CHUNK, |first, out| {
+            let len = out.len();
+            for ((o, &a), &b) in out
+                .iter_mut()
+                .zip(&lhs[first..first + len])
+                .zip(&rhs[first..first + len])
+            {
+                *o = f(a, b);
+            }
+        });
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         })
     }
 
@@ -245,9 +268,13 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        let rhs = &other.data;
+        pool::par_row_chunks_mut(&mut self.data, 1, ELEMWISE_MIN_CHUNK, |first, chunk| {
+            let len = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&rhs[first..first + len]) {
+                *a += alpha * b;
+            }
+        });
         Ok(())
     }
 
@@ -257,8 +284,11 @@ impl Tensor {
     }
 
     /// Sum of all elements.
+    ///
+    /// Accumulated in fixed [`pool::REDUCE_CHUNK`]-sized chunks folded in
+    /// chunk order, so the result is bit-identical at every thread count.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        pool::sum_mapped(&self.data, |v| v)
     }
 
     /// Arithmetic mean of all elements (0.0 for an empty tensor).
@@ -294,9 +324,9 @@ impl Tensor {
             .map(|(i, _)| i)
     }
 
-    /// L2 norm of the flattened tensor.
+    /// L2 norm of the flattened tensor (deterministic chunked reduction).
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        pool::sum_mapped(&self.data, |v| v * v).sqrt()
     }
 
     /// Clamps every element into `[lo, hi]` in place.

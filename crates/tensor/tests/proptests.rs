@@ -130,6 +130,47 @@ fn softmax_rows_are_distributions() {
     });
 }
 
+/// Parallel `matmul`/`im2col` are bit-identical to the serial kernels for
+/// arbitrary shapes across worker counts 1, 2, 4 and 7 (shapes range from
+/// pool-bypassing tiny to large enough that the row partition engages).
+#[test]
+fn kernels_thread_count_invariant() {
+    use ahw_tensor::pool;
+    check::cases(12).run("kernels_thread_count_invariant", |g| {
+        let m = g.usize_in("m", 1, 96);
+        let k = g.usize_in("k", 1, 48);
+        let n = g.usize_in("n", 1, 48);
+        let seed = g.seed("seed");
+        let a = rng::uniform(&[m, k], -1.0, 1.0, &mut rng::seeded(seed));
+        let b = rng::uniform(&[k, n], -1.0, 1.0, &mut rng::seeded(seed ^ 1));
+        let ch = g.usize_in("channels", 1, 8);
+        let size = g.usize_in("size", 4, 24);
+        let kernel = g.usize_in("kernel", 1, 3);
+        let geom = ConvGeometry {
+            channels: ch,
+            height: size,
+            width: size,
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+        };
+        let x = rng::normal(&[ch, size, size], 0.0, 1.0, &mut rng::seeded(seed ^ 2));
+        pool::set_thread_override(Some(1));
+        let mm = ops::matmul(&a, &b).unwrap();
+        let cols = ops::im2col(&x, &geom).unwrap();
+        pool::set_thread_override(None);
+        for threads in [2usize, 4, 7] {
+            pool::set_thread_override(Some(threads));
+            let mm_t = ops::matmul(&a, &b).unwrap();
+            let cols_t = ops::im2col(&x, &geom).unwrap();
+            pool::set_thread_override(None);
+            ensure(mm_t == mm, format!("matmul differs at {threads} threads"))?;
+            ensure(cols_t == cols, format!("im2col differs at {threads} threads"))?;
+        }
+        Ok(())
+    });
+}
+
 /// Cross-entropy is minimized (among one-hot targets) by the true label.
 #[test]
 fn cross_entropy_prefers_true_label() {

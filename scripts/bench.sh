@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the `kernels` bench harness and appends one JSON line per benchmark to
+# BENCH_kernels.json, tagged with the git revision and the thread count so
+# the perf trajectory across PRs (and across AHW_THREADS values) is
+# comparable.
+#
+# Usage: scripts/bench.sh [output.json] [name-filter...]
+#
+# Knobs (all optional):
+#   AHW_THREADS          worker count the kernels run with (default: auto)
+#   AHW_BENCH_SAMPLES    samples per benchmark        (default here: 5)
+#   AHW_BENCH_WARMUP_MS  warm-up/calibration window   (default here: 150)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_kernels.json}"
+shift || true
+
+rev="$(git rev-parse --short HEAD)"
+threads="${AHW_THREADS:-$(nproc)}"
+export AHW_BENCH_SAMPLES="${AHW_BENCH_SAMPLES:-5}"
+export AHW_BENCH_WARMUP_MS="${AHW_BENCH_WARMUP_MS:-150}"
+
+echo "bench: rev=$rev threads=$threads -> $out" >&2
+cargo bench --offline -q -p ahw-bench --bench kernels -- "$@" \
+    | grep '^{' \
+    | sed "s/^{/{\"rev\":\"$rev\",\"threads\":$threads,/" \
+    | tee -a "$out"

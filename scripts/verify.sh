@@ -1,7 +1,12 @@
 #!/usr/bin/env sh
 # Tier-1 verification: the workspace must build and test clean with no
-# network access and no external crates.
+# network access and no external crates, pass clippy at -D warnings, and
+# the kernel bench must run under a multi-threaded pool.
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
+cargo clippy --workspace --offline -- -D warnings
+# Smoke: kernel bench on a 2-thread pool (tiny effort; output is JSON lines).
+AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
+    cargo bench --offline -q -p ahw-bench --bench kernels -- matmul/32

@@ -4,11 +4,24 @@
 //! paper number in `ahw-bench` reproducible on any machine.
 
 use adversarial_hw::prelude::*;
-use ahw_attacks::{evaluate_attack_sharded, Attack, AttackOutcome};
+use ahw_attacks::{evaluate_attack_sharded, sweep_epsilons, Attack, AttackOutcome};
+use ahw_nn::train::{TrainConfig, Trainer};
 use ahw_sram::{HybridMemoryConfig, HybridWordConfig};
-use ahw_tensor::{rng, Tensor};
+use ahw_tensor::{pool, rng, Tensor};
+use std::sync::Mutex;
 
 const SEED: u64 = 0xD_E7E_2;
+
+/// Serializes tests that pin the process-global worker-count override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the kernel pool pinned to `threads` workers.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    pool::set_thread_override(Some(threads));
+    let out = f();
+    pool::set_thread_override(None);
+    out
+}
 
 /// Builds a small seeded classifier.
 fn model(seed: u64) -> Sequential {
@@ -60,6 +73,69 @@ fn worker_count_does_not_change_the_result() {
         one.adversarial_accuracy.to_bits(),
         four.adversarial_accuracy.to_bits()
     );
+}
+
+#[test]
+fn conv_forward_is_bit_identical_across_thread_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let m = model(SEED);
+    let x = noisy_images(SEED);
+    let reference = with_threads(1, || m.forward_infer(&x).unwrap());
+    for threads in [2usize, 4, 7] {
+        let y = with_threads(threads, || m.forward_infer(&x).unwrap());
+        assert_eq!(y, reference, "conv forward differs at {threads} threads");
+    }
+}
+
+/// The `exp_fig5`-style pipeline — train a small conv net, then sweep an
+/// attack over ε — is bit-identical at 1 vs 4 kernel-pool workers. Training
+/// exercises the parallel GEMM/im2col kernels *and* the chunked gradient
+/// reduction; the sweep exercises pooled attack sharding.
+#[test]
+fn training_and_epsilon_sweep_are_bit_identical_1_vs_4_threads() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut m = model(SEED);
+            let images = noisy_images(SEED);
+            let labels: Vec<usize> = (0..24).map(|i| i % 3).collect();
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: 2,
+                lr: 0.05,
+                batch_size: 8,
+                ..TrainConfig::default()
+            });
+            trainer
+                .fit(&mut m, &images, &labels, &mut rng::seeded(SEED ^ 0xF16))
+                .unwrap();
+            sweep_epsilons(
+                &m,
+                &m,
+                &images,
+                &labels,
+                Attack::Fgsm { epsilon: 0.05 },
+                &[0.03, 0.08],
+                5,
+            )
+            .unwrap()
+        })
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.len(), four.len());
+    for ((e1, o1), (e4, o4)) in one.iter().zip(&four) {
+        assert_eq!(e1.to_bits(), e4.to_bits());
+        assert_eq!(
+            o1.clean_accuracy.to_bits(),
+            o4.clean_accuracy.to_bits(),
+            "clean accuracy differs at eps {e1}"
+        );
+        assert_eq!(
+            o1.adversarial_accuracy.to_bits(),
+            o4.adversarial_accuracy.to_bits(),
+            "adversarial accuracy differs at eps {e1}"
+        );
+    }
 }
 
 #[test]
