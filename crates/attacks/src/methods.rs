@@ -1,6 +1,13 @@
 use ahw_nn::{Mode, NnError, Sequential};
-use ahw_tensor::{rng, Tensor};
+use ahw_telemetry as telemetry;
 use ahw_tensor::rng::Rng;
+use ahw_tensor::{rng, Tensor};
+
+/// Input-gradient evaluations spent crafting attacks (1 per FGSM batch,
+/// `steps` per PGD batch) — invariant in the thread count for a given
+/// workload, which the determinism suite checks.
+static GRADIENT_QUERIES: telemetry::LazyCounter =
+    telemetry::LazyCounter::new("attacks.methods.gradient_queries");
 
 /// An adversarial attack specification.
 ///
@@ -91,6 +98,7 @@ pub fn fgsm(
     labels: &[usize],
     epsilon: f32,
 ) -> Result<Tensor, NnError> {
+    GRADIENT_QUERIES.incr();
     let (_, grad) = model.input_gradient(x, labels, Mode::Eval)?;
     let mut adv = x.clone();
     for (a, g) in adv.as_mut_slice().iter_mut().zip(grad.as_slice()) {
@@ -128,6 +136,7 @@ pub fn pgd<R: Rng>(
         x.clone()
     };
     for _ in 0..steps {
+        GRADIENT_QUERIES.incr();
         let (_, grad) = model.input_gradient(&adv, labels, Mode::Eval)?;
         let av = adv.as_mut_slice();
         let gv = grad.as_slice();

@@ -2,9 +2,16 @@ use crate::methods::{craft, Attack};
 use crate::AttackOutcome;
 use ahw_nn::util::num_threads;
 use ahw_nn::{NnError, Sequential};
+use ahw_telemetry as telemetry;
 use ahw_tensor::{pool, Tensor};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Examples attacked and evaluated (clean + adversarial pass pairs).
+static EXAMPLES: telemetry::LazyCounter = telemetry::LazyCounter::new("attacks.evaluate.examples");
+/// ε points completed across all sweeps — per-epsilon sweep progress.
+static EPSILONS_DONE: telemetry::LazyCounter =
+    telemetry::LazyCounter::new("attacks.sweep.epsilons_done");
 
 /// The paper's three attack/evaluation pairings (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,6 +99,10 @@ pub fn evaluate_attack_sharded(
     if workers == 0 {
         return Err(NnError::BadConfig("zero attack workers".into()));
     }
+    let _span = telemetry::span_labeled("attacks.evaluate", || {
+        format!("{} n={n} batch={batch} workers={workers}", attack.name())
+    });
+    EXAMPLES.add(n as u64);
     let item = images.len() / n;
     let chunks: Vec<(usize, usize)> = (0..n)
         .step_by(batch)
@@ -103,6 +114,9 @@ pub fn evaluate_attack_sharded(
     // Every batch is independent: its RNG stream comes from the batch index
     // and its counts are integers, so any schedule yields the same totals.
     let shard_range = |range: std::ops::Range<usize>| -> Result<(usize, usize), NnError> {
+        let _span = telemetry::span_labeled("attacks.evaluate.shard", || {
+            format!("batches {}..{}", range.start, range.end)
+        });
         // each range differentiates through its own clone
         let mut grad = grad_model.clone();
         let (mut clean_ok, mut adv_ok) = (0usize, 0usize);
@@ -197,6 +211,7 @@ pub fn sweep_epsilons(
     epsilons
         .iter()
         .map(|&eps| {
+            let _span = telemetry::span_labeled("attacks.sweep.epsilon", || format!("eps={eps}"));
             let a = match attack {
                 Attack::Fgsm { .. } => Attack::Fgsm { epsilon: eps },
                 Attack::Pgd {
@@ -212,10 +227,9 @@ pub fn sweep_epsilons(
                 },
                 Attack::Random { .. } => Attack::Random { epsilon: eps },
             };
-            Ok((
-                eps,
-                evaluate_attack(grad_model, eval_model, images, labels, a, batch)?,
-            ))
+            let outcome = evaluate_attack(grad_model, eval_model, images, labels, a, batch)?;
+            EPSILONS_DONE.incr();
+            Ok((eps, outcome))
         })
         .collect()
 }
@@ -352,9 +366,7 @@ mod tests {
         assert!(evaluate_attack(&model, &model, &x, &[0, 1], Attack::fgsm(0.1), 8).is_err());
         let y: Vec<usize> = (0..x.dims()[0]).map(|i| i % 2).collect();
         assert!(evaluate_attack(&model, &model, &x, &y, Attack::fgsm(0.1), 0).is_err());
-        assert!(
-            evaluate_attack_sharded(&model, &model, &x, &y, Attack::fgsm(0.1), 8, 0).is_err()
-        );
+        assert!(evaluate_attack_sharded(&model, &model, &x, &y, Attack::fgsm(0.1), 8, 0).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use ahw_bench::experiments::run_ablations;
 use ahw_bench::{table, Args};
 
 fn main() {
+    let _telemetry = ahw_bench::telemetry_flush();
     let args = Args::from_env();
     let scale = args.scale();
     println!("Ablations (VGG8 / CIFAR10, FGSM eps=0.1)");

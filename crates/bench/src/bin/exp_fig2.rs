@@ -5,6 +5,7 @@ use ahw_bench::experiments::fig2_mu_sweep;
 use ahw_bench::table;
 
 fn main() {
+    let _telemetry = ahw_bench::telemetry_flush();
     let vdds = [0.60f32, 0.65, 0.70, 0.75, 0.80];
     let rows = fig2_mu_sweep(&vdds);
     let headers: Vec<String> = std::iter::once("8T/6T".to_string())

@@ -6,6 +6,7 @@ use ahw_bench::{table, Args};
 use ahw_core::zoo::ArchId;
 
 fn main() {
+    let _telemetry = ahw_bench::telemetry_flush();
     let args = Args::from_env();
     let scale = args.scale();
     let weight_noise = args

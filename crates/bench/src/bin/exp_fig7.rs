@@ -5,6 +5,7 @@ use ahw_bench::{table, Args};
 use ahw_core::zoo::ArchId;
 
 fn main() {
+    let _telemetry = ahw_bench::telemetry_flush();
     let args = Args::from_env();
     let scale = args.scale();
     println!("Fig. 7 — AL vs epsilon on crossbars, VGG16 / CIFAR100");

@@ -5,6 +5,7 @@ use ahw_bench::experiments::defense_comparison;
 use ahw_bench::{table, Args};
 
 fn main() {
+    let _telemetry = ahw_bench::telemetry_flush();
     let args = Args::from_env();
     let scale = args.scale();
     let epsilon = args.get::<f32>("epsilon").unwrap_or(8.0 / 255.0);

@@ -5,6 +5,7 @@ use ahw_bench::experiments::{eps_label, table3_size_study};
 use ahw_bench::{table, Args};
 
 fn main() {
+    let _telemetry = ahw_bench::telemetry_flush();
     let args = Args::from_env();
     let scale = args.scale();
     println!("Table III — AL (%) for HH attack (PGD) across crossbar sizes, VGG8 / CIFAR10");

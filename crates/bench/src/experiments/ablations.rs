@@ -84,8 +84,7 @@ pub fn run_ablations(scale: &Scale) -> Result<Vec<AblationRow>, NnError> {
             sites: vec![PlannedSite {
                 site_index: 0,
                 config: HybridMemoryConfig::new(
-                    HybridWordConfig::new(2, 6)
-                        .map_err(|e| NnError::BadConfig(e.to_string()))?,
+                    HybridWordConfig::new(2, 6).map_err(|e| NnError::BadConfig(e.to_string()))?,
                     0.62,
                 )
                 .map_err(|e| NnError::BadConfig(e.to_string()))?,

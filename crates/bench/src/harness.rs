@@ -167,11 +167,24 @@ impl Harness {
 
     /// Prints a run footer to stderr: how many benchmarks ran vs. were
     /// filtered out. Call once at the end of `main`.
+    ///
+    /// When telemetry is enabled (`AHW_TRACE`/`AHW_METRICS`) this also emits
+    /// the metrics snapshot as one more stdout JSON line —
+    /// `{"name":"telemetry/metrics","snapshot":{...}}` — so `scripts/bench.sh`
+    /// collects it alongside the timings, and flushes the telemetry
+    /// exporters (trace file / stderr summary).
     pub fn finish(&self) {
         eprintln!(
             "benchmarks: {} run, {} filtered out",
             self.ran, self.skipped
         );
+        if ahw_telemetry::enabled() {
+            println!(
+                "{{\"name\":\"telemetry/metrics\",\"snapshot\":{}}}",
+                ahw_telemetry::snapshot_json()
+            );
+        }
+        ahw_telemetry::finish();
     }
 }
 

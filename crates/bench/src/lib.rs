@@ -198,6 +198,25 @@ impl Args {
     }
 }
 
+/// RAII guard flushing telemetry exporters at scope exit: writes the
+/// `AHW_TRACE` trace-event file and prints the `AHW_METRICS` stderr summary
+/// (both no-ops when telemetry is disabled). Experiment binaries hold one
+/// for the whole of `main` so traces survive early returns.
+#[must_use = "the flush happens when the guard drops"]
+#[derive(Debug)]
+pub struct TelemetryFlush;
+
+impl Drop for TelemetryFlush {
+    fn drop(&mut self) {
+        ahw_telemetry::finish();
+    }
+}
+
+/// Creates a [`TelemetryFlush`] guard; bind it at the top of `main`.
+pub fn telemetry_flush() -> TelemetryFlush {
+    TelemetryFlush
+}
+
 /// The model-checkpoint cache directory: `$AHW_CACHE` or
 /// `target/ahw-models`.
 pub fn cache_dir() -> PathBuf {

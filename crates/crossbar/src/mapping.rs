@@ -11,8 +11,8 @@
 
 use crate::{Calibration, CrossbarConfig, CrossbarError, TiledMatrix};
 use ahw_nn::Sequential;
-use ahw_tensor::Tensor;
 use ahw_tensor::rng::Rng;
+use ahw_tensor::Tensor;
 
 /// Applies the configured ADC-gain calibration: rescales `effective` so its
 /// least-squares projection onto `target` has unit gain (per layer or per

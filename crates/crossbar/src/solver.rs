@@ -19,6 +19,11 @@
 //! series IR drops and the shared-wire loading into a linear operator.
 
 use crate::{CrossbarError, NonIdealities, SolverKind};
+use ahw_telemetry as telemetry;
+
+/// Resistive-mesh solves performed (one per programmed tile) — counts how
+/// often non-idealities were applied to a conductance matrix.
+static SOLVES: telemetry::LazyCounter = telemetry::LazyCounter::new("crossbar.solver.solves");
 
 /// Floor applied to parasitic resistances so ideal (zero) values stay
 /// numerically regular in the exact solver.
@@ -45,6 +50,7 @@ pub fn extract_effective_conductance(
             g.len()
         )));
     }
+    SOLVES.incr();
     match solver {
         SolverKind::Relaxation { sweeps } => relax(g, rows, cols, ni, sweeps.max(1)),
         SolverKind::Exact => solve_mesh_exact(g, rows, cols, ni),

@@ -2,9 +2,13 @@
 //! process variation, and tiled matrix-vector multiplication.
 
 use crate::{extract_effective_conductance, CrossbarConfig, CrossbarError};
+use ahw_telemetry as telemetry;
 use ahw_tensor::rng::Rng;
 use ahw_tensor::{ops, pool, Tensor, TensorError};
 use std::sync::Mutex;
+
+/// Single-tile analog MVMs performed (every tile of every [`TiledMatrix::mvm`]).
+static TILE_MVMS: telemetry::LazyCounter = telemetry::LazyCounter::new("crossbar.tile.tile_mvms");
 
 /// One programmed `K×K` (or smaller, at matrix edges) crossbar array pair.
 ///
@@ -176,6 +180,9 @@ impl TiledMatrix {
         }
         config.validate()?;
         let (out_f, in_f) = (weight.dims()[0], weight.dims()[1]);
+        let _span = telemetry::span_labeled("crossbar.tile.program", || {
+            format!("{out_f}x{in_f} tiles={}", config.size)
+        });
         let k = config.size;
         let w_max = weight
             .as_slice()
@@ -257,6 +264,10 @@ impl TiledMatrix {
                 self.in_features
             )));
         }
+        let _span = telemetry::span_labeled("crossbar.tile.mvm", || {
+            format!("{}x{}", self.out_features, self.in_features)
+        });
+        TILE_MVMS.add(self.tile_count() as u64);
         let k = self.tile_size;
         let mut y = vec![0.0f32; self.out_features];
         let n_blocks = self.tiles.first().map_or(0, Vec::len);

@@ -29,8 +29,8 @@
 //! assert_eq!(data.train().images().dims(), &[128, 3, 32, 32]);
 //! ```
 
-use ahw_tensor::{rng, Tensor};
 use ahw_tensor::rng::Rng;
+use ahw_tensor::{rng, Tensor};
 
 /// Configuration for [`SyntheticCifar::generate`].
 #[derive(Debug, Clone, PartialEq)]

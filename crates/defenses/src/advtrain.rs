@@ -8,8 +8,8 @@
 
 use ahw_nn::train::Trainer;
 use ahw_nn::{Mode, NnError, Sequential};
-use ahw_tensor::{ops, Tensor};
 use ahw_tensor::rng::Rng;
+use ahw_tensor::{ops, Tensor};
 
 /// Configuration for [`adversarial_fit`].
 #[derive(Debug, Clone, PartialEq)]

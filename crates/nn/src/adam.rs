@@ -3,8 +3,8 @@
 //! synthetic task benefits noticeably).
 
 use crate::{NnError, Sequential};
-use ahw_tensor::{ops, Tensor};
 use ahw_tensor::rng::Rng;
+use ahw_tensor::{ops, Tensor};
 
 /// Hyper-parameters for [`AdamTrainer`].
 #[derive(Debug, Clone, PartialEq)]

@@ -1,8 +1,8 @@
 use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::layers::{BatchNorm2d, Conv2d, ReLU};
 use crate::{NnError, Param};
-use ahw_tensor::Tensor;
 use ahw_tensor::rng::Rng;
+use ahw_tensor::Tensor;
 use std::sync::Arc;
 
 /// A ResNet basic block:

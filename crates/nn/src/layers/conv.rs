@@ -2,8 +2,8 @@ use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::util::{par_items_mut, par_map_reduce};
 use crate::{NnError, Param};
 use ahw_tensor::ops::{self, ConvGeometry};
-use ahw_tensor::{rng, Tensor};
 use ahw_tensor::rng::Rng;
+use ahw_tensor::{rng, Tensor};
 use std::sync::Arc;
 
 /// 2-D convolution with square kernels, implemented as `im2col` + GEMM.

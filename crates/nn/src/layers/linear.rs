@@ -1,8 +1,8 @@
 use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::{NnError, Param};
 use ahw_tensor::ops;
-use ahw_tensor::{rng, Tensor};
 use ahw_tensor::rng::Rng;
+use ahw_tensor::{rng, Tensor};
 use std::sync::Arc;
 
 /// Fully-connected layer: `y = x · Wᵀ + b` over `(N, in_features)` inputs.

@@ -1,8 +1,16 @@
 //! SGD training loop.
 
 use crate::{Mode, NnError, Sequential};
-use ahw_tensor::{ops, Tensor};
+use ahw_telemetry as telemetry;
 use ahw_tensor::rng::Rng;
+use ahw_tensor::{ops, Tensor};
+
+/// Mini-batches processed across all `fit` calls.
+static BATCHES: telemetry::LazyCounter = telemetry::LazyCounter::new("nn.train.batches");
+/// Most recent epoch's mean training loss.
+static LOSS: telemetry::LazyGauge = telemetry::LazyGauge::new("nn.train.loss");
+/// Most recent epoch's training accuracy.
+static ACCURACY: telemetry::LazyGauge = telemetry::LazyGauge::new("nn.train.accuracy");
 
 /// Hyper-parameters for [`Trainer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -133,11 +141,15 @@ impl Trainer {
         let mut order: Vec<usize> = (0..n).collect();
         let mut stats = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
+            let _epoch_span =
+                telemetry::span_labeled("nn.train.epoch", || format!("epoch={epoch}"));
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f64;
             let mut correct = 0usize;
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {
+                let _batch_span = telemetry::span("nn.train.batch");
+                BATCHES.incr();
                 let mut bd = images.dims().to_vec();
                 bd[0] = chunk.len();
                 let mut data = Vec::with_capacity(chunk.len() * item);
@@ -178,6 +190,8 @@ impl Trainer {
                 loss: (epoch_loss / batches.max(1) as f64) as f32,
                 accuracy: correct as f32 / n as f32,
             };
+            LOSS.set(s.loss as f64);
+            ACCURACY.set(s.accuracy as f64);
             if self.config.verbose {
                 eprintln!(
                     "epoch {:>3}  loss {:.4}  acc {:.2}%  lr {:.4}",

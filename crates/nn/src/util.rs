@@ -84,7 +84,10 @@ where
             for i in lo..hi {
                 f(i, &mut acc);
             }
-            parts.lock().expect("par_map_reduce parts lock").push((c, acc));
+            parts
+                .lock()
+                .expect("par_map_reduce parts lock")
+                .push((c, acc));
         }
     });
     let mut parts = parts.into_inner().expect("par_map_reduce parts lock");

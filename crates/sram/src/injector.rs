@@ -1,8 +1,19 @@
 use crate::{BitErrorModel, HybridMemoryConfig};
 use ahw_nn::ActivationHook;
+use ahw_telemetry as telemetry;
 use ahw_tensor::quant::QTensor;
 use ahw_tensor::rng::{self, Rng};
 use ahw_tensor::Tensor;
+
+/// Individual bits flipped by the 6T error model — a pure function of the
+/// stored words and the injector seed, so invariant in the thread count.
+static BIT_FLIPS: telemetry::LazyCounter = telemetry::LazyCounter::new("sram.injector.bit_flips");
+/// Words whose stored pattern changed during a round trip.
+static WORDS_FLIPPED: telemetry::LazyCounter =
+    telemetry::LazyCounter::new("sram.injector.words_flipped");
+/// Words stored through the hybrid memory (flipped or not).
+static WORDS_STORED: telemetry::LazyCounter =
+    telemetry::LazyCounter::new("sram.injector.words_stored");
 
 /// Which memory a hybrid configuration corrupts. The paper finds activation
 /// memories give larger robustness gains than parameter memories (§III-A);
@@ -63,11 +74,13 @@ impl BitErrorInjector {
     /// e.g. corrupting a *weight* tensor once at load time for the
     /// [`NoiseTarget::Weights`] ablation.
     pub fn corrupt(&self, x: &Tensor) -> Tensor {
+        let _span = telemetry::span_labeled("sram.injector.corrupt", || self.config.describe());
         let mut q = match QTensor::quantize(x, 8) {
             Ok(q) => q,
             // only fails on bits outside 1..=8, which 8 is not
             Err(_) => unreachable!("8-bit quantization is always valid"),
         };
+        WORDS_STORED.add(q.codes().len() as u64);
         let mask = self.config.word().six_t_mask();
         if mask != 0 && self.ber > 0.0 {
             // FNV-1a over the stored words picks the noise stream, so equal
@@ -78,6 +91,7 @@ impl BitErrorInjector {
                 h = (h ^ u64::from(*code)).wrapping_mul(0x0000_0100_0000_01B3);
             }
             let mut rng = rng::stream(self.seed, h);
+            let (mut bits_flipped, mut words_flipped) = (0u64, 0u64);
             for code in q.codes_mut() {
                 let mut flips = 0u8;
                 let mut bit = mask;
@@ -88,8 +102,14 @@ impl BitErrorInjector {
                     }
                     bit ^= lowest;
                 }
+                if flips != 0 {
+                    bits_flipped += u64::from(flips.count_ones());
+                    words_flipped += 1;
+                }
                 *code ^= flips;
             }
+            BIT_FLIPS.add(bits_flipped);
+            WORDS_FLIPPED.add(words_flipped);
         }
         q.dequantize()
     }

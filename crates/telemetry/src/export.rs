@@ -1,0 +1,317 @@
+//! Exporters: JSON metrics snapshot, chrome://tracing / Perfetto
+//! trace-event JSON, and a human-readable stderr summary.
+//!
+//! All serialization is hand-rolled (the workspace is std-only). Output is
+//! deterministic for deterministic input: metric maps are sorted, spans are
+//! pre-sorted by [`drain_spans`], and floats are formatted with fixed
+//! precision.
+
+use crate::metrics::{snapshot, MetricsSnapshot};
+use crate::span::{drain_spans, SpanEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes the current metrics snapshot as one JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,"sum":..,"buckets":[..]}}}`.
+pub fn snapshot_json() -> String {
+    metrics_snapshot_json(&snapshot())
+}
+
+/// Serializes a given [`MetricsSnapshot`] (see [`snapshot_json`]).
+pub fn metrics_snapshot_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), v);
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), json_f64(*v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            buckets.join(",")
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders spans as chrome trace-event JSON — complete (`"ph":"X"`) events
+/// on a µs timebase plus one thread-name metadata record per thread — that
+/// loads directly in <https://ui.perfetto.dev> or chrome://tracing.
+pub fn trace_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut tids: Vec<u32> = spans.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let label = if tid == 0 {
+            "main".to_string()
+        } else {
+            format!("worker-{tid}")
+        };
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        );
+    }
+    for ev in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let cat = ev.name.split('.').next().unwrap_or(ev.name);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3}",
+            json_escape(ev.name),
+            json_escape(cat),
+            ev.tid,
+            ev.start_ns as f64 / 1000.0,
+            ev.dur_ns as f64 / 1000.0,
+        );
+        match &ev.label {
+            Some(label) => {
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"label\":\"{}\",\"depth\":{}}}}}",
+                    json_escape(label),
+                    ev.depth
+                );
+            }
+            None => {
+                let _ = write!(out, ",\"args\":{{\"depth\":{}}}}}", ev.depth);
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Drains all buffered spans and writes them as trace-event JSON to `path`.
+pub fn write_trace(path: &str) -> std::io::Result<()> {
+    let spans = drain_spans();
+    std::fs::write(path, trace_json(&spans))
+}
+
+/// Per-span-name aggregate used by the summary table.
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Renders the human-readable summary: a per-name span table (count, total,
+/// mean/min/max) followed by every counter and gauge.
+pub fn render_summary(spans: &[SpanEvent], snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("== telemetry summary ==\n");
+    if !spans.is_empty() {
+        let mut aggs: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
+        for ev in spans {
+            let agg = aggs.entry(ev.name).or_insert(SpanAgg {
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            agg.count += 1;
+            agg.total_ns += ev.dur_ns;
+            agg.min_ns = agg.min_ns.min(ev.dur_ns);
+            agg.max_ns = agg.max_ns.max(ev.dur_ns);
+        }
+        let name_w = aggs.keys().map(|n| n.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>8}  {:>12}  {:>10}  {:>10}  {:>10}",
+            "span", "count", "total_ms", "mean_us", "min_us", "max_us"
+        );
+        for (name, agg) in &aggs {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>8}  {:>12.3}  {:>10.1}  {:>10.1}  {:>10.1}",
+                name,
+                agg.count,
+                agg.total_ns as f64 / 1e6,
+                agg.total_ns as f64 / agg.count as f64 / 1e3,
+                agg.min_ns as f64 / 1e3,
+                agg.max_ns as f64 / 1e3,
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("-- counters --\n");
+        let name_w = snap.counters.keys().map(String::len).max().unwrap_or(0);
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name:<name_w$}  {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("-- gauges --\n");
+        let name_w = snap.gauges.keys().map(String::len).max().unwrap_or(0);
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{name:<name_w$}  {v:.6}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("-- histograms --\n");
+        let name_w = snap.histograms.keys().map(String::len).max().unwrap_or(0);
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<name_w$}  count={}  sum={}  mean={:.1}",
+                h.count,
+                h.sum,
+                h.mean()
+            );
+        }
+    }
+    out
+}
+
+/// End-of-process flush: drains spans once, writes the `AHW_TRACE` file if
+/// configured, and prints the `AHW_METRICS` summary to stderr if requested.
+/// A no-op when telemetry is disabled; safe to call more than once (later
+/// calls see an empty span buffer).
+pub fn finish() {
+    if !crate::enabled() {
+        return;
+    }
+    let spans = drain_spans();
+    if let Some(path) = crate::env_trace_path() {
+        match std::fs::write(&path, trace_json(&spans)) {
+            Ok(()) => eprintln!("[telemetry] wrote {} span(s) to {path}", spans.len()),
+            Err(e) => eprintln!("[telemetry] failed to write trace to {path}: {e}"),
+        }
+    }
+    if crate::env_metrics_on() {
+        eprint!("{}", render_summary(&spans, &snapshot()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    fn ev(name: &'static str, tid: u32, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            label: None,
+            tid,
+            start_ns: start,
+            dur_ns: dur,
+            depth: 1,
+        }
+    }
+
+    #[test]
+    fn trace_json_shape() {
+        let spans = vec![
+            ev("tensor.ops.matmul", 0, 1000, 2500),
+            SpanEvent {
+                label: Some("eps=0.1".to_string()),
+                ..ev("attacks.sweep.epsilon", 1, 4000, 900)
+            },
+        ];
+        let json = trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"main\""));
+        assert!(json.contains("\"name\":\"worker-1\""));
+        assert!(json.contains("\"ph\":\"X\",\"name\":\"tensor.ops.matmul\",\"cat\":\"tensor\""));
+        assert!(
+            json.contains("\"ts\":1,\"dur\":2.5") || json.contains("\"ts\":1.000,\"dur\":2.500")
+        );
+        assert!(json.contains("\"label\":\"eps=0.1\""));
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_shape() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        static C: crate::LazyCounter = crate::LazyCounter::new("test.export.count");
+        static G: crate::LazyGauge = crate::LazyGauge::new("test.export.gauge");
+        C.add(9);
+        G.set(1.5);
+        let json = snapshot_json();
+        crate::set_enabled(false);
+        assert!(json.contains("\"test.export.count\":9"));
+        assert!(json.contains("\"test.export.gauge\":1.5"));
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.25), "2.25");
+    }
+
+    #[test]
+    fn summary_aggregates_spans() {
+        let spans = vec![
+            ev("nn.train.batch", 0, 0, 1000),
+            ev("nn.train.batch", 0, 2000, 3000),
+        ];
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("nn.train.batches".to_string(), 2);
+        let text = render_summary(&spans, &snap);
+        assert!(text.contains("nn.train.batch"));
+        assert!(text.contains("2")); // count column
+        assert!(text.contains("nn.train.batches"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Hierarchical wall-clock spans with RAII guards and per-thread buffers.
+//!
+//! A span is opened with [`span`] (or [`span_labeled`]) and closed when the
+//! returned [`SpanGuard`] drops; the finished [`SpanEvent`] is pushed onto
+//! the *calling thread's* buffer, so concurrent spans never contend on a
+//! shared lock. [`drain_spans`] collects every thread's buffer and merges
+//! them into one deterministic order.
+//!
+//! Nesting is tracked with a per-thread depth counter: a span opened while
+//! another is active records `depth + 1`, which the summary table uses for
+//! indentation and trace viewers reconstruct from the timestamps.
+
+use crate::now_ns;
+use std::cell::{Cell, OnceCell};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One finished span: what ran, on which thread, when, and for how long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Dotted `crate.component.op` name.
+    pub name: &'static str,
+    /// Optional per-instance detail (e.g. `"eps=0.1"`), shown as trace args.
+    pub label: Option<String>,
+    /// Telemetry thread id (registration order; the first recording thread
+    /// is 0 — usually `main`).
+    pub tid: u32,
+    /// Start, nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open time (outermost span on a thread is 1).
+    pub depth: u16,
+}
+
+/// Per-thread span sink. Buffers are registered once per thread and live for
+/// the process (pool workers never exit), so the registry only ever grows.
+struct ThreadBuf {
+    tid: u32,
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+fn local_buf() -> Arc<ThreadBuf> {
+    LOCAL.with(|cell| {
+        Arc::clone(cell.get_or_init(|| {
+            let mut reg = registry()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let buf = Arc::new(ThreadBuf {
+                tid: reg.len() as u32,
+                spans: Mutex::new(Vec::new()),
+            });
+            reg.push(Arc::clone(&buf));
+            buf
+        }))
+    })
+}
+
+/// Stable telemetry id of the calling thread: threads are numbered in the
+/// order they first record telemetry, starting at 0. Used for per-worker
+/// metric names and trace-event `tid`s.
+pub fn thread_id() -> u32 {
+    local_buf().tid
+}
+
+/// RAII guard returned by [`span`]; records the [`SpanEvent`] when dropped.
+/// When telemetry is disabled the guard is inert (no clock read, no drop
+/// work beyond an `Option` check).
+#[must_use = "a span measures the scope of its guard; binding to _ drops it immediately"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: &'static str,
+    label: Option<String>,
+    start_ns: u64,
+}
+
+/// Opens a span named `name` covering the guard's lifetime.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard(None);
+    }
+    begin(name, None)
+}
+
+/// Opens a span with a lazily-built label; `label` is only invoked (and its
+/// `String` only allocated) when telemetry is enabled.
+#[inline]
+pub fn span_labeled<F: FnOnce() -> String>(name: &'static str, label: F) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard(None);
+    }
+    begin(name, Some(label()))
+}
+
+fn begin(name: &'static str, label: Option<String>) -> SpanGuard {
+    DEPTH.with(|d| d.set(d.get() + 1));
+    SpanGuard(Some(ActiveSpan {
+        name,
+        label,
+        start_ns: now_ns(),
+    }))
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let end = now_ns();
+            let depth = DEPTH.with(|d| {
+                let v = d.get();
+                d.set(v.saturating_sub(1));
+                v
+            });
+            let buf = local_buf();
+            let event = SpanEvent {
+                name: active.name,
+                label: active.label,
+                tid: buf.tid,
+                start_ns: active.start_ns,
+                dur_ns: end.saturating_sub(active.start_ns),
+                depth,
+            };
+            buf.spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(event);
+        }
+    }
+}
+
+/// Drains every thread's buffered spans into one vector with a fixed merge
+/// order — start time ascending, then duration *descending* (parents sort
+/// before the children they enclose at equal timestamps), then thread id,
+/// then name — so repeated identical runs export identically-ordered
+/// traces regardless of which worker flushed first.
+pub fn drain_spans() -> Vec<SpanEvent> {
+    let bufs: Vec<Arc<ThreadBuf>> = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let mut all = Vec::new();
+    for buf in bufs {
+        all.append(
+            &mut buf
+                .spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+    }
+    all.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(b.dur_ns.cmp(&a.dur_ns))
+            .then(a.tid.cmp(&b.tid))
+            .then(a.name.cmp(b.name))
+    });
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        let _ = drain_spans();
+        {
+            let _outer = span("test.span.outer");
+            let _inner = span("test.span.inner");
+        }
+        let events = drain_spans();
+        crate::set_enabled(false);
+        let outer = events.iter().find(|e| e.name == "test.span.outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "test.span.inner").unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.dur_ns <= outer.dur_ns);
+    }
+
+    #[test]
+    fn labels_are_lazy_and_recorded() {
+        let _g = test_lock::hold();
+        crate::set_enabled(false);
+        {
+            // must not evaluate the label closure while disabled
+            let _s = span_labeled("test.span.labeled", || {
+                unreachable!("label built while off")
+            });
+        }
+        crate::set_enabled(true);
+        let _ = drain_spans();
+        {
+            let _s = span_labeled("test.span.labeled", || "eps=0.25".to_string());
+        }
+        let events = drain_spans();
+        crate::set_enabled(false);
+        let ev = events
+            .iter()
+            .find(|e| e.name == "test.span.labeled")
+            .unwrap();
+        assert_eq!(ev.label.as_deref(), Some("eps=0.25"));
+    }
+
+    #[test]
+    fn drain_merges_threads_deterministically() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        let _ = drain_spans();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let _s = span("test.span.worker");
+                });
+            }
+        });
+        let events = drain_spans();
+        crate::set_enabled(false);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "test.span.worker")
+                .count(),
+            3
+        );
+        // sorted by the documented key
+        for pair in events.windows(2) {
+            let key = |e: &SpanEvent| (e.start_ns, u64::MAX - e.dur_ns, e.tid, e.name);
+            assert!(key(&pair[0]) <= key(&pair[1]));
+        }
+        // a second drain is empty
+        assert!(drain_spans().is_empty());
+    }
+
+    #[test]
+    fn thread_ids_are_stable_per_thread() {
+        let a = thread_id();
+        let b = thread_id();
+        assert_eq!(a, b);
+    }
+}

@@ -15,6 +15,24 @@
 //! instead of being silently dropped.
 
 use crate::{pool, Tensor, TensorError};
+use ahw_telemetry as telemetry;
+
+/// Multiply–accumulate work done by the GEMM kernels (`2·m·n·k` per call).
+static GEMM_FLOPS: telemetry::LazyCounter = telemetry::LazyCounter::new("tensor.ops.gemm_flops");
+/// Operand + result traffic of the GEMM kernels (`4·(mk + kn + mn)` bytes).
+static GEMM_BYTES: telemetry::LazyCounter = telemetry::LazyCounter::new("tensor.ops.gemm_bytes");
+/// Elements gathered by `im2col` lowerings.
+static IM2COL_ELEMS: telemetry::LazyCounter =
+    telemetry::LazyCounter::new("tensor.ops.im2col_elems");
+/// Elements scattered by `col2im` adjoints.
+static COL2IM_ELEMS: telemetry::LazyCounter =
+    telemetry::LazyCounter::new("tensor.ops.col2im_elems");
+
+/// Records one GEMM's work after its shape check passes.
+fn count_gemm(m: usize, n: usize, k: usize) {
+    GEMM_FLOPS.add(2 * (m as u64) * (n as u64) * (k as u64));
+    GEMM_BYTES.add(4 * ((m * k) as u64 + (k * n) as u64 + (m * n) as u64));
+}
 
 /// Cache-blocking tile edge for the GEMM microkernel, in elements.
 const BLOCK: usize = 64;
@@ -51,14 +69,7 @@ fn axpy4(orow: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: 
 /// produces bit-identical results whether it goes through the 4-row block
 /// or the single-row tail path (and therefore under any row partition).
 #[inline]
-fn axpy4x4(
-    o: [&mut [f32]; 4],
-    a: [[f32; 4]; 4],
-    b0: &[f32],
-    b1: &[f32],
-    b2: &[f32],
-    b3: &[f32],
-) {
+fn axpy4x4(o: [&mut [f32]; 4], a: [[f32; 4]; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
     let [o0, o1, o2, o3] = o;
     let len = o0.len();
     let (b0, b1, b2, b3) = (&b0[..len], &b1[..len], &b2[..len], &b3[..len]);
@@ -158,6 +169,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
+    let _span = telemetry::span_labeled("tensor.ops.matmul", || format!("{m}x{k}x{n}"));
+    count_gemm(m, n, k);
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
@@ -247,6 +260,8 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
+    let _span = telemetry::span_labeled("tensor.ops.matmul_transb", || format!("{m}x{k}x{n}"));
+    count_gemm(m, n, k);
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
@@ -281,6 +296,8 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
+    let _span = telemetry::span_labeled("tensor.ops.matmul_transa", || format!("{m}x{k}x{n}"));
+    count_gemm(m, n, k);
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
@@ -395,6 +412,8 @@ pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
     }
     let (oh, ow) = (g.out_height(), g.out_width());
     let cols = oh * ow;
+    let _span = telemetry::span("tensor.ops.im2col");
+    IM2COL_ELEMS.add((g.patch_len() * cols) as u64);
     let mut out = vec![0.0f32; g.patch_len() * cols];
     let inp = input.as_slice();
     // Each patch row (c, ky, kx) gathers into a disjoint output row, so the
@@ -454,6 +473,8 @@ pub fn col2im(cols_t: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> 
             rhs: vec![g.patch_len(), cols],
         });
     }
+    let _span = telemetry::span("tensor.ops.col2im");
+    COL2IM_ELEMS.add((g.patch_len() * cols) as u64);
     let mut out = vec![0.0f32; g.channels * g.height * g.width];
     let cv = cols_t.as_slice();
     let plane_len = g.height * g.width;
@@ -502,19 +523,24 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
     require_rank2(logits, "softmax_rows")?;
     let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
     let mut out = logits.as_slice().to_vec();
-    pool::par_row_chunks_mut(&mut out, cols.max(1), par_min_rows(cols), |_, rows_block| {
-        for row in rows_block.chunks_mut(cols.max(1)) {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - m).exp();
-                sum += *v;
+    pool::par_row_chunks_mut(
+        &mut out,
+        cols.max(1),
+        par_min_rows(cols),
+        |_, rows_block| {
+            for row in rows_block.chunks_mut(cols.max(1)) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - m).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
             }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
-        }
-    });
+        },
+    );
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -623,14 +649,19 @@ mod tests {
         // A zero in `a` must not skip the product: 0·∞ and 0·NaN are NaN.
         // The old `if aik == 0.0 { continue }` kernel silently returned 0.
         let a = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[1, 3]).unwrap();
-        let b = Tensor::from_vec(
-            vec![f32::INFINITY, 1.0, 2.0, f32::NAN, 3.0, 4.0],
-            &[3, 2],
-        )
-        .unwrap();
+        let b =
+            Tensor::from_vec(vec![f32::INFINITY, 1.0, 2.0, f32::NAN, 3.0, 4.0], &[3, 2]).unwrap();
         let y = matmul(&a, &b).unwrap();
-        assert!(y.as_slice()[0].is_nan(), "0·inf row lost: {:?}", y.as_slice());
-        assert!(y.as_slice()[1].is_nan(), "0·NaN row lost: {:?}", y.as_slice());
+        assert!(
+            y.as_slice()[0].is_nan(),
+            "0·inf row lost: {:?}",
+            y.as_slice()
+        );
+        assert!(
+            y.as_slice()[1].is_nan(),
+            "0·NaN row lost: {:?}",
+            y.as_slice()
+        );
 
         let ta = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[3, 1]).unwrap();
         let yt = matmul_transa(&ta, &b).unwrap();

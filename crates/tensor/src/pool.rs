@@ -36,11 +36,38 @@
 //! completes — mirroring `std::thread::scope` semantics closely enough for
 //! test harnesses.
 
-use std::cell::Cell;
+use ahw_telemetry as telemetry;
+use std::cell::{Cell, OnceCell};
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Parallel jobs published to the pool (inline fallbacks not counted).
+static POOL_JOBS: telemetry::LazyCounter = telemetry::LazyCounter::new("tensor.pool.jobs");
+/// Chunks executed across all jobs — invariant in the thread count.
+static POOL_TASKS: telemetry::LazyCounter = telemetry::LazyCounter::new("tensor.pool.tasks");
+/// Total time any thread spent running pool chunks, summed over threads.
+static POOL_BUSY_NS: telemetry::LazyCounter = telemetry::LazyCounter::new("tensor.pool.busy_ns");
+/// Distribution of single-chunk execution times.
+static POOL_CHUNK_NS: telemetry::LazyHistogram =
+    telemetry::LazyHistogram::new("tensor.pool.chunk_ns");
+
+/// Per-worker busy-time counter (`tensor.pool.worker<tid>.busy_ns`), cached
+/// per thread so the name is formatted once.
+fn worker_busy_counter() -> Arc<telemetry::Counter> {
+    thread_local! {
+        static CELL: OnceCell<Arc<telemetry::Counter>> = const { OnceCell::new() };
+    }
+    CELL.with(|c| {
+        Arc::clone(c.get_or_init(|| {
+            telemetry::counter(&format!(
+                "tensor.pool.worker{}.busy_ns",
+                telemetry::thread_id()
+            ))
+        }))
+    })
+}
 
 /// Hard cap on pool size — guards against a pathological `AHW_THREADS`.
 const MAX_WORKERS: usize = 256;
@@ -215,23 +242,40 @@ fn worker_loop(shared: &Shared) {
 /// caller when the last chunk finishes.
 fn run_chunks(shared: &Shared, job: &Job) {
     JOB_DEPTH.with(|d| d.set(d.get() + 1));
+    // Resolve the telemetry gate once per job participation; the disabled
+    // path adds nothing to the per-chunk loop.
+    let busy_start = telemetry::enabled().then(std::time::Instant::now);
+    let mut tasks_run = 0u64;
     loop {
         let idx = job.next.fetch_add(1, Ordering::Relaxed);
         if idx >= job.chunks {
             break;
         }
         let task = job.task;
+        let chunk_start = busy_start.is_some().then(std::time::Instant::now);
         // SAFETY: the caller is blocked in `run` until `done == chunks`,
         // so the closure `task` points to is still alive.
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
             (task.call)(task.data, idx);
         }));
+        if let Some(t) = chunk_start {
+            POOL_CHUNK_NS.record(t.elapsed().as_nanos() as u64);
+            tasks_run += 1;
+        }
         if outcome.is_err() {
             job.panicked.store(true, Ordering::Relaxed);
         }
         if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.chunks {
             let _guard = shared.slot.lock().expect("pool slot lock");
             shared.job_done.notify_all();
+        }
+    }
+    if let Some(start) = busy_start {
+        if tasks_run > 0 {
+            let ns = start.elapsed().as_nanos() as u64;
+            POOL_TASKS.add(tasks_run);
+            POOL_BUSY_NS.add(ns);
+            worker_busy_counter().add(ns);
         }
     }
     JOB_DEPTH.with(|d| d.set(d.get() - 1));
@@ -241,6 +285,7 @@ fn run_chunks(shared: &Shared, job: &Job) {
 /// with the calling thread participating. Blocks until every chunk ran.
 fn run<F: Fn(usize) + Sync>(chunks: usize, threads: usize, task: &F) {
     debug_assert!(threads >= 2 && chunks >= 2);
+    POOL_JOBS.incr();
     let pool = pool();
     pool.ensure_workers(threads - 1);
     let job = Arc::new(Job {
@@ -480,7 +525,9 @@ mod tests {
 
     #[test]
     fn sum_mapped_is_thread_count_invariant() {
-        let data: Vec<f32> = (0..20_000).map(|i| ((i % 17) as f32) * 0.13 - 1.0).collect();
+        let data: Vec<f32> = (0..20_000)
+            .map(|i| ((i % 17) as f32) * 0.13 - 1.0)
+            .collect();
         let mut sums = Vec::new();
         for &threads in &[1usize, 2, 4, 7] {
             set_thread_override(Some(threads));

@@ -368,12 +368,7 @@ mod tests {
         let t = uniform(&[n], a, b, &mut seeded(100));
         let mean = t.mean();
         assert!((mean - 1.0).abs() < 0.02, "uniform mean {mean}");
-        let var: f32 = t
-            .as_slice()
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f32>()
-            / n as f32;
+        let var: f32 = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
         let expect = (b - a) * (b - a) / 12.0;
         assert!(
             (var - expect).abs() < expect * 0.02,

@@ -165,7 +165,10 @@ fn kernels_thread_count_invariant() {
             let cols_t = ops::im2col(&x, &geom).unwrap();
             pool::set_thread_override(None);
             ensure(mm_t == mm, format!("matmul differs at {threads} threads"))?;
-            ensure(cols_t == cols, format!("im2col differs at {threads} threads"))?;
+            ensure(
+                cols_t == cols,
+                format!("im2col differs at {threads} threads"),
+            )?;
         }
         Ok(())
     });

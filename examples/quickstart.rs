@@ -5,6 +5,8 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! # with a Perfetto trace + metrics summary of the whole run:
+//! AHW_TRACE=trace.json AHW_METRICS=1 cargo run --release --example quickstart
 //! ```
 
 use adversarial_hw::prelude::*;
@@ -76,5 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         println!("no improvement at this single site — run the Fig. 4 search (exp_table1) for a tuned plan");
     }
+
+    // 7. flush telemetry: with AHW_TRACE set this writes a trace-event file
+    //    (open it at https://ui.perfetto.dev) spanning training, attacks,
+    //    and the SRAM noise injection; with AHW_METRICS=1 it prints the
+    //    span/counter summary to stderr. No-op when neither is set.
+    ahw_telemetry::finish();
     Ok(())
 }

@@ -1,6 +1,10 @@
 #!/bin/sh
 set -e
 BIN=target/release
+# Same knob handling as run_experiments.sh: export AHW_THREADS only when it
+# is set to something, and log the configuration the pool actually resolved.
+if [ -n "${AHW_THREADS:-}" ]; then export AHW_THREADS; fi
+$BIN/ahw_info
 $BIN/exp_table1 "$@"   | tee results/table1.txt
 $BIN/exp_table2 "$@"   | tee results/table2.txt
 $BIN/exp_fig5   "$@"   | tee results/fig5.txt

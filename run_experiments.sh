@@ -4,6 +4,11 @@
 # Fig. 4 plans that exp_fig5 reuses.
 set -e
 BIN=target/release
+# Propagate the worker-count knob explicitly (only when actually set — an
+# exported empty string would parse as "serial") and record the effective
+# configuration the pool resolved, so logs show what the run really used.
+if [ -n "${AHW_THREADS:-}" ]; then export AHW_THREADS; fi
+$BIN/ahw_info
 $BIN/exp_fig2          | tee results/fig2.txt
 $BIN/exp_table1 "$@"   | tee results/table1.txt
 $BIN/exp_table2 "$@"   | tee results/table2.txt

@@ -26,3 +26,17 @@ cargo bench --offline -q -p ahw-bench --bench kernels -- "$@" \
     | grep '^{' \
     | sed "s/^{/{\"rev\":\"$rev\",\"threads\":$threads,/" \
     | tee -a "$out"
+
+# Telemetry-overhead delta: the flagship GEMM once with telemetry disabled
+# and once with spans + metrics recording (AHW_METRICS=1 turns the gate on
+# and also appends the harness's metrics-snapshot line), tagged so overhead
+# regressions are visible next to the plain numbers.
+for t in off on; do
+    if [ "$t" = on ]; then export AHW_METRICS=1; else unset AHW_METRICS; fi
+    echo "bench: telemetry=$t matmul/256 -> $out" >&2
+    cargo bench --offline -q -p ahw-bench --bench kernels -- matmul/256 \
+        | grep '^{' \
+        | sed "s/^{/{\"rev\":\"$rev\",\"threads\":$threads,\"telemetry\":\"$t\",/" \
+        | tee -a "$out"
+done
+unset AHW_METRICS

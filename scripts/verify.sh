@@ -4,6 +4,7 @@
 # the kernel bench must run under a multi-threaded pool.
 set -eu
 cd "$(dirname "$0")/.."
+cargo fmt --check
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --workspace --offline -- -D warnings

@@ -49,8 +49,16 @@ fn run(seed: u64, workers: usize) -> AttackOutcome {
     let m = model(seed);
     let images = noisy_images(seed);
     let labels: Vec<usize> = (0..24).map(|i| i % 3).collect();
-    evaluate_attack_sharded(&m, &m, &images, &labels, Attack::Fgsm { epsilon: 0.06 }, 5, workers)
-        .unwrap()
+    evaluate_attack_sharded(
+        &m,
+        &m,
+        &images,
+        &labels,
+        Attack::Fgsm { epsilon: 0.06 },
+        5,
+        workers,
+    )
+    .unwrap()
 }
 
 #[test]

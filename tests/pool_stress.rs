@@ -1,0 +1,126 @@
+//! Worker-pool stress: a panic inside a telemetry-instrumented parallel-for
+//! task must propagate to the caller and leave the pool fully usable for
+//! the next parallel call, at every supported worker count.
+//!
+//! Lives in its own integration-test binary because it flips process-global
+//! state (the telemetry enable flag and the pool thread override); the
+//! local lock serializes the tests inside this process.
+
+use ahw_tensor::{ops, pool, rng, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Serializes tests that pin the thread override / telemetry flag.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A parallel-for that records telemetry spans and panics partway through.
+fn panicking_job() {
+    pool::parallel_for_ranges(64, 1, |r| {
+        let _span = ahw_telemetry::span("test.pool_stress.task");
+        if r.contains(&13) {
+            panic!("intentional pool-stress panic");
+        }
+    });
+}
+
+/// Every index of `0..n` must be visited exactly once after recovery.
+fn assert_full_coverage(n: usize) {
+    let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    pool::parallel_for_ranges(n, 1, |r| {
+        let _span = ahw_telemetry::span("test.pool_stress.recovery");
+        for i in r {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert!(
+        hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+        "post-panic parallel-for lost or duplicated indices"
+    );
+}
+
+#[test]
+fn instrumented_task_panic_propagates_and_pool_recovers() {
+    let _g = lock();
+    ahw_telemetry::set_enabled(true);
+    for &threads in &[1usize, 2, 4, 7] {
+        pool::set_thread_override(Some(threads));
+        let result = catch_unwind(AssertUnwindSafe(panicking_job));
+        assert!(
+            result.is_err(),
+            "task panic was swallowed at {threads} threads"
+        );
+        // the pool must stay usable: plain coverage, then a real kernel
+        assert_full_coverage(257);
+        let a = rng::uniform(&[33, 17], -1.0, 1.0, &mut rng::seeded(threads as u64));
+        let b = rng::uniform(&[17, 29], -1.0, 1.0, &mut rng::seeded(threads as u64 + 1));
+        let c = ops::matmul(&a, &b).expect("matmul after panic");
+        assert_eq!(c.dims(), &[33, 29]);
+        pool::set_thread_override(None);
+    }
+    ahw_telemetry::set_enabled(false);
+    // the spans recorded above (including from unwound tasks) must drain
+    // without issue
+    let spans = ahw_telemetry::drain_spans();
+    assert!(
+        spans.iter().any(|s| s.name == "test.pool_stress.recovery"),
+        "recovery spans were not recorded"
+    );
+}
+
+#[test]
+fn repeated_panics_do_not_wedge_the_pool() {
+    let _g = lock();
+    ahw_telemetry::set_enabled(true);
+    pool::set_thread_override(Some(4));
+    for _ in 0..5 {
+        assert!(catch_unwind(AssertUnwindSafe(panicking_job)).is_err());
+    }
+    assert_full_coverage(128);
+    pool::set_thread_override(None);
+    ahw_telemetry::set_enabled(false);
+    let _ = ahw_telemetry::drain_spans();
+}
+
+#[test]
+fn disabled_telemetry_panic_path_also_recovers() {
+    let _g = lock();
+    ahw_telemetry::set_enabled(false);
+    pool::set_thread_override(Some(2));
+    assert!(catch_unwind(AssertUnwindSafe(panicking_job)).is_err());
+    assert_full_coverage(99);
+    pool::set_thread_override(None);
+    // nothing may have been recorded while disabled
+    assert!(ahw_telemetry::drain_spans().is_empty());
+}
+
+#[test]
+fn results_stay_correct_after_panic_recovery() {
+    let _g = lock();
+    ahw_telemetry::set_enabled(true);
+    let a = rng::uniform(&[40, 23], -1.0, 1.0, &mut rng::seeded(77));
+    let b = rng::uniform(&[23, 31], -1.0, 1.0, &mut rng::seeded(78));
+    let reference: Tensor = {
+        pool::set_thread_override(Some(1));
+        let r = ops::matmul(&a, &b).unwrap();
+        pool::set_thread_override(None);
+        r
+    };
+    for &threads in &[2usize, 4, 7] {
+        pool::set_thread_override(Some(threads));
+        assert!(catch_unwind(AssertUnwindSafe(panicking_job)).is_err());
+        let c = ops::matmul(&a, &b).unwrap();
+        pool::set_thread_override(None);
+        assert_eq!(
+            c, reference,
+            "matmul after panic differs from serial at {threads} threads"
+        );
+    }
+    ahw_telemetry::set_enabled(false);
+    let _ = ahw_telemetry::drain_spans();
+}

@@ -205,7 +205,10 @@ fn dataset_generation_pure() {
         let b = SyntheticCifar::generate(&cfg);
         ensure(a == b, "equal configs generated different datasets")?;
         for (i, &l) in a.train().labels().iter().enumerate() {
-            ensure(l == i % 3, format!("label {l} at index {i} breaks round-robin"))?;
+            ensure(
+                l == i % 3,
+                format!("label {l} at index {i} breaks round-robin"),
+            )?;
         }
         ensure(a.train().images().min() >= 0.0, "pixel below 0")?;
         ensure(a.train().images().max() <= 1.0, "pixel above 1")
