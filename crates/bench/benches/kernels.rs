@@ -3,6 +3,7 @@
 //! injection, attack crafting). Runs on the std-only harness
 //! ([`ahw_bench::harness`]); see that module for filters and env knobs.
 
+use ahw_attacks::{evaluate_attack_sharded, Attack};
 use ahw_bench::harness::{black_box, Harness};
 use ahw_crossbar::{
     extract_effective_conductance, CrossbarConfig, NonIdealities, SolverKind, TiledMatrix,
@@ -93,6 +94,36 @@ fn bench_fgsm(h: &mut Harness) {
     let _ = model.forward(&x, Mode::Eval);
 }
 
+fn bench_pgd_eval(h: &mut Harness) {
+    // The attack loop the paper actually measures: a full PGD evaluation
+    // (k gradient steps per batch, sharded across workers) rather than a
+    // single raw kernel. This is the workload the execution-plan/workspace
+    // reuse path is judged on.
+    let mut rng_ = rng::seeded(10);
+    let mut model = Sequential::new();
+    model.push(Conv2d::new(3, 8, 3, 1, 1, &mut rng_).unwrap());
+    model.push(ahw_nn::layers::ReLU::new());
+    model.push(ahw_nn::layers::Flatten::new());
+    model.push(ahw_nn::layers::Linear::new(8 * 16 * 16, 10, &mut rng_).unwrap());
+    let x = rng::uniform(&[24, 3, 16, 16], 0.0, 1.0, &mut rng_);
+    let labels: Vec<usize> = (0..24).map(|i| i % 10).collect();
+    let attack = Attack::pgd(0.05);
+    h.bench("attacks/pgd_eval_24x3x16x16", || {
+        black_box(
+            evaluate_attack_sharded(
+                black_box(&model),
+                black_box(&model),
+                black_box(&x),
+                &labels,
+                attack,
+                8,
+                2,
+            )
+            .unwrap(),
+        );
+    });
+}
+
 fn main() {
     let mut h = Harness::from_env();
     bench_matmul(&mut h);
@@ -101,5 +132,6 @@ fn main() {
     bench_crossbar_programming(&mut h);
     bench_bit_error_injection(&mut h);
     bench_fgsm(&mut h);
+    bench_pgd_eval(&mut h);
     h.finish();
 }

@@ -40,3 +40,14 @@ for t in off on; do
         | tee -a "$out"
 done
 unset AHW_METRICS
+
+# Attack-path workload: the sharded PGD evaluation loop (the sweep shape the
+# paper measures), run with metrics on so the workspace-arena counters land
+# in the harness's metrics-snapshot line next to the timing.
+export AHW_METRICS=1
+echo "bench: attacks/pgd_eval -> $out" >&2
+cargo bench --offline -q -p ahw-bench --bench kernels -- attacks/pgd_eval \
+    | grep '^{' \
+    | sed "s/^{/{\"rev\":\"$rev\",\"threads\":$threads,\"telemetry\":\"on\",/" \
+    | tee -a "$out"
+unset AHW_METRICS
