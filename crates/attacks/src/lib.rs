@@ -38,7 +38,9 @@ mod methods;
 mod metrics;
 mod modes;
 
-pub use methods::{fgsm, pgd, random_noise, Attack};
+pub use methods::{
+    craft, craft_ws, fgsm, fgsm_ws, pgd, pgd_ws, random_noise, random_noise_ws, Attack,
+};
 pub use metrics::AttackOutcome;
 pub use modes::{
     evaluate_attack, evaluate_attack_sharded, evaluate_mode, sweep_epsilons, AttackMode,

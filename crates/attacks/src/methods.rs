@@ -1,7 +1,7 @@
-use ahw_nn::{Mode, NnError, Sequential};
+use ahw_nn::{Mode, NnError, PlanCache, Sequential};
 use ahw_telemetry as telemetry;
 use ahw_tensor::rng::Rng;
-use ahw_tensor::{rng, Tensor};
+use ahw_tensor::Tensor;
 
 /// Input-gradient evaluations spent crafting attacks (1 per FGSM batch,
 /// `steps` per PGD batch) — invariant in the thread count for a given
@@ -98,15 +98,37 @@ pub fn fgsm(
     labels: &[usize],
     epsilon: f32,
 ) -> Result<Tensor, NnError> {
+    fgsm_ws(model, x, labels, epsilon, &mut PlanCache::new())
+}
+
+/// [`fgsm`] running through a caller-owned plan cache: the gradient pass
+/// and the adversarial batch draw all scratch from `cache`'s arena, so
+/// repeated calls at one batch geometry allocate nothing. The returned
+/// tensor's storage comes from the arena — recycle it back when done to
+/// keep the loop allocation-free.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn fgsm_ws(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    epsilon: f32,
+    cache: &mut PlanCache,
+) -> Result<Tensor, NnError> {
     GRADIENT_QUERIES.incr();
-    let (_, grad) = model.input_gradient(x, labels, Mode::Eval)?;
-    let mut adv = x.clone();
-    for (a, g) in adv.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+    let (_, grad) = model.input_gradient_planned(x, labels, Mode::Eval, cache)?;
+    let ws = cache.workspace();
+    let mut adv = ws.take(x.len());
+    adv.copy_from_slice(x.as_slice());
+    for (a, g) in adv.iter_mut().zip(grad.as_slice()) {
         if *g != 0.0 {
             *a = (*a + epsilon * g.signum()).clamp(0.0, 1.0);
         }
     }
-    Ok(adv)
+    ws.recycle_tensor(grad);
+    Ok(Tensor::from_vec(adv, x.dims())?)
 }
 
 /// Crafts PGD adversarial examples against `model`'s loss.
@@ -127,17 +149,57 @@ pub fn pgd<R: Rng>(
     random_start: bool,
     rng_: &mut R,
 ) -> Result<Tensor, NnError> {
-    let mut adv = if random_start {
-        let noise = rng::uniform(x.dims(), -epsilon, epsilon, rng_);
-        let mut a = x.add(&noise)?;
-        a.clamp_in_place(0.0, 1.0);
+    pgd_ws(
+        model,
+        x,
+        labels,
+        epsilon,
+        alpha,
+        steps,
+        random_start,
+        rng_,
+        &mut PlanCache::new(),
+    )
+}
+
+/// [`pgd`] running through a caller-owned plan cache. Every gradient pass
+/// of every step reuses the arena's buffers, so a steady-state PGD loop
+/// (the dominant attack-evaluation cost) performs zero heap allocations.
+/// The returned tensor's storage comes from the arena.
+///
+/// # Errors
+///
+/// Propagates model errors.
+#[allow(clippy::too_many_arguments)] // mirrors the canonical PGD signature
+pub fn pgd_ws<R: Rng>(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    epsilon: f32,
+    alpha: f32,
+    steps: usize,
+    random_start: bool,
+    rng_: &mut R,
+    cache: &mut PlanCache,
+) -> Result<Tensor, NnError> {
+    let mut adv = {
+        let buf = cache.workspace().take(x.len());
+        let mut a = Tensor::from_vec(buf, x.dims())?;
+        let av = a.as_mut_slice();
+        if random_start {
+            // same draw order and arithmetic as the uniform-noise tensor
+            // the allocating path adds, so the bits match exactly
+            for (o, &v) in av.iter_mut().zip(x.as_slice()) {
+                *o = (v + rng_.gen_range(-epsilon..epsilon)).clamp(0.0, 1.0);
+            }
+        } else {
+            av.copy_from_slice(x.as_slice());
+        }
         a
-    } else {
-        x.clone()
     };
     for _ in 0..steps {
         GRADIENT_QUERIES.incr();
-        let (_, grad) = model.input_gradient(&adv, labels, Mode::Eval)?;
+        let (_, grad) = model.input_gradient_planned(&adv, labels, Mode::Eval, cache)?;
         let av = adv.as_mut_slice();
         let gv = grad.as_slice();
         let xv = x.as_slice();
@@ -148,6 +210,7 @@ pub fn pgd<R: Rng>(
                 .clamp(xv[i] - epsilon, xv[i] + epsilon)
                 .clamp(0.0, 1.0);
         }
+        cache.workspace().recycle_tensor(grad);
     }
     Ok(adv)
 }
@@ -155,12 +218,21 @@ pub fn pgd<R: Rng>(
 /// Perturbs `x` with uniform noise in `[-epsilon, epsilon]`, clipped to the
 /// pixel domain — the gradient-free control condition.
 pub fn random_noise<R: Rng>(x: &Tensor, epsilon: f32, rng_: &mut R) -> Tensor {
-    let noise = rng::uniform(x.dims(), -epsilon, epsilon, rng_);
-    let mut out = x.clone();
-    for (a, n) in out.as_mut_slice().iter_mut().zip(noise.as_slice()) {
-        *a = (*a + n).clamp(0.0, 1.0);
+    random_noise_ws(x, epsilon, rng_, &mut PlanCache::new())
+}
+
+/// [`random_noise`] drawing the output buffer from a plan cache's arena.
+pub fn random_noise_ws<R: Rng>(
+    x: &Tensor,
+    epsilon: f32,
+    rng_: &mut R,
+    cache: &mut PlanCache,
+) -> Tensor {
+    let mut out = cache.workspace().take(x.len());
+    for (o, &v) in out.iter_mut().zip(x.as_slice()) {
+        *o = (v + rng_.gen_range(-epsilon..epsilon)).clamp(0.0, 1.0);
     }
-    out
+    Tensor::from_vec(out, x.dims()).expect("volume matches by construction")
 }
 
 /// Runs `attack` against `model` on one batch and returns the adversarial
@@ -176,15 +248,43 @@ pub fn craft<R: Rng>(
     attack: Attack,
     rng_: &mut R,
 ) -> Result<Tensor, NnError> {
+    craft_ws(model, x, labels, attack, rng_, &mut PlanCache::new())
+}
+
+/// [`craft`] through a caller-owned plan cache; the shard loops in
+/// [`crate::evaluate_attack_sharded`] hold one cache per worker so all
+/// attack steps, batches, and sweep points reuse the same arena.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn craft_ws<R: Rng>(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    attack: Attack,
+    rng_: &mut R,
+    cache: &mut PlanCache,
+) -> Result<Tensor, NnError> {
     match attack {
-        Attack::Fgsm { epsilon } => fgsm(model, x, labels, epsilon),
+        Attack::Fgsm { epsilon } => fgsm_ws(model, x, labels, epsilon, cache),
         Attack::Pgd {
             epsilon,
             alpha,
             steps,
             random_start,
-        } => pgd(model, x, labels, epsilon, alpha, steps, random_start, rng_),
-        Attack::Random { epsilon } => Ok(random_noise(x, epsilon, rng_)),
+        } => pgd_ws(
+            model,
+            x,
+            labels,
+            epsilon,
+            alpha,
+            steps,
+            random_start,
+            rng_,
+            cache,
+        ),
+        Attack::Random { epsilon } => Ok(random_noise_ws(x, epsilon, rng_, cache)),
     }
 }
 
@@ -295,6 +395,41 @@ mod tests {
         assert_ne!(out, x);
         assert_eq!(Attack::random(0.1).name(), "Random");
         assert_eq!(Attack::random(0.1).epsilon(), 0.1);
+    }
+
+    #[test]
+    fn ws_random_start_matches_allocating_formulation() {
+        // pgd with zero steps is exactly the random start; it must match
+        // the uniform-noise-tensor + add + clamp formulation bit-for-bit
+        let mut m = model(30);
+        let (x, y) = batch(31);
+        let eps = 0.12;
+        let noise = ahw_tensor::rng::uniform(x.dims(), -eps, eps, &mut seeded(42));
+        let mut expect = x.add(&noise).unwrap();
+        expect.clamp_in_place(0.0, 1.0);
+        let got = pgd(&mut m, &x, &y, eps, 0.03, 0, true, &mut seeded(42)).unwrap();
+        for (a, b) in got.as_slice().iter().zip(expect.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reused_plan_cache_is_deterministic_and_balanced() {
+        let mut m = model(32);
+        let (x, y) = batch(33);
+        let attack = Attack::pgd(0.1);
+        let fresh = craft(&mut m, &x, &y, attack, &mut seeded(7)).unwrap();
+        let mut cache = PlanCache::new();
+        for round in 0..3 {
+            let adv = craft_ws(&mut m, &x, &y, attack, &mut seeded(7), &mut cache).unwrap();
+            for (a, b) in adv.as_slice().iter().zip(fresh.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round} diverged");
+            }
+            cache.workspace().recycle_tensor(adv);
+        }
+        assert_eq!(cache.workspace().outstanding(), 0);
+        // one geometry ever seen: the arena was warm from round 2 on
+        assert_eq!(cache.compiled_geometries(), 1);
     }
 
     #[test]

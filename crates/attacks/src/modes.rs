@@ -1,11 +1,32 @@
-use crate::methods::{craft, Attack};
+use crate::methods::{craft_ws, Attack};
 use crate::AttackOutcome;
 use ahw_nn::util::num_threads;
-use ahw_nn::{NnError, Sequential};
+use ahw_nn::{NnError, PlanCache, Sequential};
 use ahw_telemetry as telemetry;
 use ahw_tensor::{pool, Tensor};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Idle plan caches parked between evaluations. Each shard checks one out
+/// for its whole range of batches, so the arena's buffers survive across
+/// attack steps, batches, *and* successive evaluations (the ε sweep hits
+/// the steady state from its second point onwards).
+static PLAN_POOL: Mutex<Vec<PlanCache>> = Mutex::new(Vec::new());
+
+fn checkout_plan() -> PlanCache {
+    PLAN_POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop()
+        .unwrap_or_default()
+}
+
+fn park_plan(plan: PlanCache) {
+    PLAN_POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(plan);
+}
 
 /// Examples attacked and evaluated (clean + adversarial pass pairs).
 static EXAMPLES: telemetry::LazyCounter = telemetry::LazyCounter::new("attacks.evaluate.examples");
@@ -117,23 +138,35 @@ pub fn evaluate_attack_sharded(
         let _span = telemetry::span_labeled("attacks.evaluate.shard", || {
             format!("batches {}..{}", range.start, range.end)
         });
-        // each range differentiates through its own clone
+        // each range differentiates and evaluates through its own clones,
+        // with one checked-out plan arena reused across all its batches
         let mut grad = grad_model.clone();
-        let (mut clean_ok, mut adv_ok) = (0usize, 0usize);
-        for ci in range {
-            let (lo, hi) = chunks[ci];
-            let mut bd = dims.to_vec();
-            bd[0] = hi - lo;
-            let xb = Tensor::from_vec(xv[lo * item..hi * item].to_vec(), &bd)?;
-            let yb = &labels[lo..hi];
-            let mut rng = ahw_tensor::rng::stream(ATTACK_STREAM_SEED, ci as u64);
-            let adv = craft(&mut grad, &xb, yb, attack, &mut rng)?;
-            let clean_preds = eval_model.predict(&xb)?;
-            let adv_preds = eval_model.predict(&adv)?;
-            clean_ok += clean_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
-            adv_ok += adv_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
-        }
-        Ok((clean_ok, adv_ok))
+        let mut eval = eval_model.clone();
+        let mut plan = checkout_plan();
+        let result = (|| {
+            let (mut clean_ok, mut adv_ok) = (0usize, 0usize);
+            for ci in range {
+                let (lo, hi) = chunks[ci];
+                let mut bd = dims.to_vec();
+                bd[0] = hi - lo;
+                let mut xbuf = plan.workspace().take((hi - lo) * item);
+                xbuf.copy_from_slice(&xv[lo * item..hi * item]);
+                let xb = Tensor::from_vec(xbuf, &bd)?;
+                let yb = &labels[lo..hi];
+                let mut rng = ahw_tensor::rng::stream(ATTACK_STREAM_SEED, ci as u64);
+                let adv = craft_ws(&mut grad, &xb, yb, attack, &mut rng, &mut plan)?;
+                let clean_preds = eval.predict_planned(&xb, &mut plan)?;
+                let adv_preds = eval.predict_planned(&adv, &mut plan)?;
+                clean_ok += clean_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
+                adv_ok += adv_preds.iter().zip(yb).filter(|(p, l)| p == l).count();
+                let ws = plan.workspace();
+                ws.recycle_tensor(adv);
+                ws.recycle_tensor(xb);
+            }
+            Ok((clean_ok, adv_ok))
+        })();
+        park_plan(plan);
+        result
     };
 
     let (clean_ok, adv_ok) = if workers <= 1 {

@@ -4,7 +4,7 @@
 use crate::{extract_effective_conductance, CrossbarConfig, CrossbarError};
 use ahw_telemetry as telemetry;
 use ahw_tensor::rng::Rng;
-use ahw_tensor::{ops, pool, Tensor, TensorError};
+use ahw_tensor::{ops, pool, workspace, Tensor, TensorError};
 use std::sync::Mutex;
 
 /// Single-tile analog MVMs performed (every tile of every [`TiledMatrix::mvm`]).
@@ -126,6 +126,20 @@ impl CrossbarTile {
     ///
     /// Returns [`CrossbarError::BadParams`] if `v.len() != rows`.
     pub fn mvm(&self, v: &[f32]) -> Result<Vec<f32>, CrossbarError> {
+        let mut out = vec![0.0f32; self.cols];
+        self.mvm_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`mvm`](CrossbarTile::mvm) writing into a caller-provided buffer of
+    /// exactly `cols` elements (fully overwritten), so tiled MVM loops can
+    /// reuse workspace scratch instead of allocating per tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::BadParams`] if `v.len() != rows` or
+    /// `out.len() != cols`.
+    pub fn mvm_into(&self, v: &[f32], out: &mut [f32]) -> Result<(), CrossbarError> {
         if v.len() != self.rows {
             return Err(CrossbarError::BadParams(format!(
                 "input length {} does not match {} rows",
@@ -133,14 +147,21 @@ impl CrossbarTile {
                 self.rows
             )));
         }
-        let mut out = vec![0.0f32; self.cols];
+        if out.len() != self.cols {
+            return Err(CrossbarError::BadParams(format!(
+                "output length {} does not match {} cols",
+                out.len(),
+                self.cols
+            )));
+        }
+        out.fill(0.0);
         // branch-free shared microkernel (no zero skip: 0·inf and 0·NaN
         // drives must propagate NaN just like the software GEMM)
-        ops::vecmat_accumulate(v, &self.g_eff_diff, self.cols, &mut out);
-        for o in &mut out {
+        ops::vecmat_accumulate(v, &self.g_eff_diff, self.cols, out);
+        for o in out {
             *o *= self.weight_per_siemens;
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -281,31 +302,39 @@ impl TiledMatrix {
         let base = SendPtr(y.as_mut_ptr());
         let base = &base;
         pool::parallel_for_ranges(n_blocks, 1, |r| {
-            for bj in r {
-                let lo = bj * k;
-                let hi = (lo + k).min(self.out_features);
-                // SAFETY: each block index is claimed by exactly one task and
-                // blocks cover disjoint ranges of `y`.
-                let yb = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
-                for (ti, row_tiles) in self.tiles.iter().enumerate() {
-                    let bi = ti * k;
-                    let tile = &row_tiles[bj];
-                    match tile.mvm(&x[bi..bi + tile.rows()]) {
-                        Ok(part) => {
-                            for (o, p) in yb.iter_mut().zip(&part) {
-                                *o += p;
+            // tile scratch comes from a checked-out workspace arena, so the
+            // per-tile partial-output buffer is reused across tiles, blocks,
+            // and successive MVM calls instead of allocated each time
+            workspace::with_global(|ws| {
+                for bj in r.clone() {
+                    let lo = bj * k;
+                    let hi = (lo + k).min(self.out_features);
+                    // SAFETY: each block index is claimed by exactly one task
+                    // and blocks cover disjoint ranges of `y`.
+                    let yb = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+                    let mut part = ws.take(hi - lo);
+                    for (ti, row_tiles) in self.tiles.iter().enumerate() {
+                        let bi = ti * k;
+                        let tile = &row_tiles[bj];
+                        match tile.mvm_into(&x[bi..bi + tile.rows()], &mut part) {
+                            Ok(()) => {
+                                for (o, p) in yb.iter_mut().zip(&part) {
+                                    *o += p;
+                                }
                             }
-                        }
-                        Err(e) => {
-                            let mut slot = first_err.lock().expect("tiled mvm error slot");
-                            if slot.is_none() {
-                                *slot = Some(e);
+                            Err(e) => {
+                                let mut slot = first_err.lock().expect("tiled mvm error slot");
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                ws.recycle(part);
+                                return;
                             }
-                            return;
                         }
                     }
+                    ws.recycle(part);
                 }
-            }
+            });
         });
         if let Some(e) = first_err.into_inner().expect("tiled mvm error slot") {
             return Err(e);

@@ -2,7 +2,7 @@ use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::layers::{BatchNorm2d, Conv2d, ReLU};
 use crate::{NnError, Param};
 use ahw_tensor::rng::Rng;
-use ahw_tensor::Tensor;
+use ahw_tensor::{Tensor, Workspace};
 use std::sync::Arc;
 
 /// A ResNet basic block:
@@ -26,8 +26,10 @@ pub struct BasicBlock {
     hook_conv1: Option<Arc<dyn ActivationHook>>,
     hook_shortcut: Option<Arc<dyn ActivationHook>>,
     hook_out: Option<Arc<dyn ActivationHook>>,
-    /// relu mask of the final activation + whether shortcut was identity
-    cache: Option<Vec<bool>>,
+    /// relu mask of the final activation; retained across iterations so the
+    /// planned path re-fills it without reallocating
+    mask: Vec<bool>,
+    mask_valid: bool,
     in_channels: usize,
     out_channels: usize,
     stride: usize,
@@ -77,7 +79,8 @@ impl BasicBlock {
             hook_conv1: None,
             hook_shortcut: None,
             hook_out: None,
-            cache: None,
+            mask: Vec::new(),
+            mask_valid: false,
             in_channels,
             out_channels,
             stride,
@@ -87,6 +90,26 @@ impl BasicBlock {
     /// Whether the block uses a projection (1×1 conv) shortcut.
     pub fn has_projection(&self) -> bool {
         self.shortcut.is_some()
+    }
+
+    fn note_mask(&mut self, pre: &Tensor) {
+        self.mask.clear();
+        self.mask.extend(pre.as_slice().iter().map(|&v| v > 0.0));
+        self.mask_valid = true;
+    }
+
+    fn masked_grad_into(&mut self, grad_out: &Tensor, out: &mut [f32]) -> Result<(), NnError> {
+        if !self.mask_valid {
+            return Err(NnError::NoForwardCache {
+                layer: self.describe(),
+            });
+        }
+        self.mask_valid = false;
+        debug_assert_eq!(self.mask.len(), grad_out.len());
+        for ((o, &g), &m) in out.iter_mut().zip(grad_out.as_slice()).zip(&self.mask) {
+            *o = if m { g } else { 0.0 };
+        }
+        Ok(())
     }
 }
 
@@ -107,8 +130,54 @@ impl Layer for BasicBlock {
         };
         let s = apply_hook(&self.hook_shortcut, s);
         let pre = a.add(&s)?;
-        self.cache = Some(pre.as_slice().iter().map(|&v| v > 0.0).collect());
+        self.note_mask(&pre);
         let y = pre.map(|v| v.max(0.0));
+        Ok(apply_hook(&self.hook_out, y))
+    }
+
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        let h = self.conv1.forward_ws(x, mode, ws)?;
+        let h2 = self.bn1.forward_ws(&h, mode, ws)?;
+        ws.recycle_tensor(h);
+        let h3 = self.relu1.forward_ws(&h2, mode, ws)?;
+        ws.recycle_tensor(h2);
+        let h3 = apply_hook(&self.hook_conv1, h3);
+        let a1 = self.conv2.forward_ws(&h3, mode, ws)?;
+        ws.recycle_tensor(h3);
+        let a = self.bn2.forward_ws(&a1, mode, ws)?;
+        ws.recycle_tensor(a1);
+        let s = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s1 = conv.forward_ws(x, mode, ws)?;
+                let s2 = bn.forward_ws(&s1, mode, ws)?;
+                ws.recycle_tensor(s1);
+                s2
+            }
+            None => {
+                let mut b = ws.take(x.len());
+                b.copy_from_slice(x.as_slice());
+                Tensor::from_vec(b, x.dims())?
+            }
+        };
+        let s = apply_hook(&self.hook_shortcut, s);
+        // in-place `a += 1.0·s` matches `a.add(&s)` bit-for-bit
+        let mut pre = a;
+        pre.add_scaled(&s, 1.0)?;
+        ws.recycle_tensor(s);
+        self.note_mask(&pre);
+        let mut y = ws.take(pre.len());
+        if let Err(e) = pre.map_into(|v| v.max(0.0), &mut y) {
+            ws.recycle(y);
+            ws.recycle_tensor(pre);
+            return Err(e.into());
+        }
+        let y = Tensor::from_vec(y, pre.dims())?;
+        ws.recycle_tensor(pre);
         Ok(apply_hook(&self.hook_out, y))
     }
 
@@ -129,19 +198,9 @@ impl Layer for BasicBlock {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.describe(),
-        })?;
-        debug_assert_eq!(mask.len(), grad_out.len());
-        let dpre = Tensor::from_vec(
-            grad_out
-                .as_slice()
-                .iter()
-                .zip(&mask)
-                .map(|(&g, &m)| if m { g } else { 0.0 })
-                .collect(),
-            grad_out.dims(),
-        )?;
+        let mut dpre_buf = vec![0.0f32; grad_out.len()];
+        self.masked_grad_into(grad_out, &mut dpre_buf)?;
+        let dpre = Tensor::from_vec(dpre_buf, grad_out.dims())?;
         // main branch
         let da = self.bn2.backward(&dpre)?;
         let dh = self.conv2.backward(&da)?;
@@ -157,6 +216,40 @@ impl Layer for BasicBlock {
             None => dpre,
         };
         Ok(dx_main.add(&dx_short)?)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        let mut dpre_buf = ws.take(grad_out.len());
+        if let Err(e) = self.masked_grad_into(grad_out, &mut dpre_buf) {
+            ws.recycle(dpre_buf);
+            return Err(e);
+        }
+        let dpre = Tensor::from_vec(dpre_buf, grad_out.dims())?;
+        // main branch
+        let da = self.bn2.backward_ws(&dpre, ws)?;
+        let dh = self.conv2.backward_ws(&da, ws)?;
+        ws.recycle_tensor(da);
+        let dh2 = self.relu1.backward_ws(&dh, ws)?;
+        ws.recycle_tensor(dh);
+        let dh3 = self.bn1.backward_ws(&dh2, ws)?;
+        ws.recycle_tensor(dh2);
+        let mut dx_main = self.conv1.backward_ws(&dh3, ws)?;
+        ws.recycle_tensor(dh3);
+        // shortcut branch
+        let dx_short = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let ds = bn.backward_ws(&dpre, ws)?;
+                let d = conv.backward_ws(&ds, ws)?;
+                ws.recycle_tensor(ds);
+                ws.recycle_tensor(dpre);
+                d
+            }
+            None => dpre,
+        };
+        // in-place `dx_main += 1.0·dx_short` matches `add` bit-for-bit
+        dx_main.add_scaled(&dx_short, 1.0)?;
+        ws.recycle_tensor(dx_short);
+        Ok(dx_main)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -283,6 +376,28 @@ mod tests {
                 "idx {idx}: {fd} vs {}",
                 dx.as_slice()[idx]
             );
+        }
+    }
+
+    #[test]
+    fn planned_path_matches_plain_path_bitwise() {
+        for (ic, oc, stride) in [(4, 4, 1), (4, 8, 2)] {
+            let mut rng = seeded(7);
+            let mut a = BasicBlock::new(ic, oc, stride, &mut rng).unwrap();
+            let mut b = a.clone();
+            let x = normal(&[2, ic, 8, 8], 0.0, 1.0, &mut rng);
+            let mut ws = ahw_tensor::Workspace::new();
+            for mode in [Mode::Train, Mode::Eval] {
+                let ya = a.forward(&x, mode).unwrap();
+                let yb = b.forward_ws(&x, mode, &mut ws).unwrap();
+                assert_eq!(ya, yb);
+                let dy = normal(ya.dims(), 0.0, 1.0, &mut seeded(8));
+                let dxa = a.backward(&dy).unwrap();
+                let dxb = b.backward_ws(&dy, &mut ws).unwrap();
+                assert_eq!(dxa, dxb);
+                ws.recycle_tensor(yb);
+                ws.recycle_tensor(dxb);
+            }
         }
     }
 

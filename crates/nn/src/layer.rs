@@ -1,5 +1,5 @@
 use crate::{NnError, Param};
-use ahw_tensor::Tensor;
+use ahw_tensor::{Tensor, Workspace};
 use std::sync::Arc;
 
 /// Whether a forward pass uses batch statistics (`Train`) or running
@@ -79,6 +79,38 @@ pub trait Layer: Send + Sync {
     ///
     /// [`forward`]: Layer::forward
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Workspace-aware forward pass: like [`forward`](Layer::forward), but
+    /// output and scratch buffers come from `ws` so a shape-stable loop
+    /// reuses them across calls. Results are bit-identical to `forward`.
+    ///
+    /// The default implementation delegates to `forward`, so existing layer
+    /// impls keep compiling (they simply don't reuse memory).
+    ///
+    /// # Errors
+    ///
+    /// As [`forward`](Layer::forward).
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        let _ = ws;
+        self.forward(x, mode)
+    }
+
+    /// Workspace-aware backward pass; see [`forward_ws`](Layer::forward_ws).
+    /// Returned gradients are backed by `ws` buffers where the layer
+    /// supports it, and scratch taken during `forward_ws` is recycled here.
+    ///
+    /// # Errors
+    ///
+    /// As [`backward`](Layer::backward).
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        let _ = ws;
+        self.backward(grad_out)
+    }
 
     /// Visits every trainable parameter.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

@@ -1,6 +1,6 @@
 use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::NnError;
-use ahw_tensor::Tensor;
+use ahw_tensor::{Tensor, Workspace};
 use std::sync::Arc;
 
 /// Rectified linear unit, `max(0, x)`, elementwise over any shape.
@@ -12,7 +12,10 @@ use std::sync::Arc;
 #[derive(Clone, Default)]
 pub struct ReLU {
     hook: Option<Arc<dyn ActivationHook>>,
-    mask: Option<Vec<bool>>,
+    /// Sign mask from the last forward; retained across iterations so the
+    /// planned path re-fills it without reallocating.
+    mask: Vec<bool>,
+    mask_valid: bool,
 }
 
 impl std::fmt::Debug for ReLU {
@@ -26,11 +29,32 @@ impl ReLU {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn note_mask(&mut self, x: &Tensor) {
+        self.mask.clear();
+        self.mask.extend(x.as_slice().iter().map(|&v| v > 0.0));
+        self.mask_valid = true;
+    }
+
+    fn masked_grad_into(&mut self, grad_out: &Tensor, out: &mut [f32]) -> Result<(), NnError> {
+        if !self.mask_valid {
+            return Err(NnError::NoForwardCache {
+                layer: self.describe(),
+            });
+        }
+        self.mask_valid = false;
+        debug_assert_eq!(self.mask.len(), grad_out.len());
+        for ((o, &g), &m) in out.iter_mut().zip(grad_out.as_slice()).zip(&self.mask) {
+            // branch-select, not multiply: g * 0.0 would flip -0.0 signs
+            *o = if m { g } else { 0.0 };
+        }
+        Ok(())
+    }
 }
 
 impl Layer for ReLU {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
-        self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        self.note_mask(x);
         let y = x.map(|v| v.max(0.0));
         Ok(apply_hook(&self.hook, y))
     }
@@ -39,17 +63,34 @@ impl Layer for ReLU {
         Ok(apply_hook(&self.hook, x.map(|v| v.max(0.0))))
     }
 
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        _mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        self.note_mask(x);
+        let mut y = ws.take(x.len());
+        if let Err(e) = x.map_into(|v| v.max(0.0), &mut y) {
+            ws.recycle(y);
+            return Err(e.into());
+        }
+        let y = Tensor::from_vec(y, x.dims())?;
+        Ok(apply_hook(&self.hook, y))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.mask.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.describe(),
-        })?;
-        debug_assert_eq!(mask.len(), grad_out.len());
-        let data = grad_out
-            .as_slice()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let mut data = vec![0.0f32; grad_out.len()];
+        self.masked_grad_into(grad_out, &mut data)?;
+        Ok(Tensor::from_vec(data, grad_out.dims())?)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        let mut data = ws.take(grad_out.len());
+        if let Err(e) = self.masked_grad_into(grad_out, &mut data) {
+            ws.recycle(data);
+            return Err(e);
+        }
         Ok(Tensor::from_vec(data, grad_out.dims())?)
     }
 
@@ -113,5 +154,24 @@ mod tests {
             .unwrap();
         relu.backward(&Tensor::from_slice(&[1.0])).unwrap();
         assert!(relu.backward(&Tensor::from_slice(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn planned_path_matches_plain_path() {
+        let mut a = ReLU::new();
+        let mut b = ReLU::new();
+        let x = Tensor::from_slice(&[-2.0, -0.0, 0.0, 1.5, 3.0]);
+        let dy = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut ws = ahw_tensor::Workspace::new();
+        for _ in 0..2 {
+            let ya = a.forward(&x, Mode::Eval).unwrap();
+            let yb = b.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+            assert_eq!(ya, yb);
+            let dxa = a.backward(&dy).unwrap();
+            let dxb = b.backward_ws(&dy, &mut ws).unwrap();
+            assert_eq!(dxa, dxb);
+            ws.recycle_tensor(yb);
+            ws.recycle_tensor(dxb);
+        }
     }
 }

@@ -1,6 +1,6 @@
 use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::{NnError, Param};
-use ahw_tensor::{Tensor, TensorError};
+use ahw_tensor::{Tensor, TensorError, Workspace};
 use std::sync::Arc;
 
 /// Batch normalization over the channel dimension of `(N, C, H, W)` tensors.
@@ -30,6 +30,9 @@ struct BnCache {
     /// Whether batch statistics were used (full backward) or running
     /// statistics (affine backward).
     train: bool,
+    /// Whether `xhat` is backed by a workspace buffer (planned path), so
+    /// the planned backward can recycle it.
+    from_ws: bool,
 }
 
 impl std::fmt::Debug for BatchNorm2d {
@@ -74,14 +77,19 @@ impl BatchNorm2d {
         Ok((x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]))
     }
 
-    fn normalize(&self, x: &Tensor, mean: &[f32], inv_std: &[f32]) -> (Tensor, Tensor) {
+    fn normalize_into(
+        &self,
+        x: &Tensor,
+        mean: &[f32],
+        inv_std: &[f32],
+        xhat: &mut [f32],
+        y: &mut [f32],
+    ) {
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let plane = h * w;
         let xv = x.as_slice();
         let gv = self.gamma.value.as_slice();
         let bv = self.beta.value.as_slice();
-        let mut xhat = vec![0.0f32; xv.len()];
-        let mut y = vec![0.0f32; xv.len()];
         for i in 0..n {
             for ch in 0..c {
                 let base = (i * c + ch) * plane;
@@ -93,10 +101,102 @@ impl BatchNorm2d {
                 }
             }
         }
+    }
+
+    fn normalize(&self, x: &Tensor, mean: &[f32], inv_std: &[f32]) -> (Tensor, Tensor) {
+        let mut xhat = vec![0.0f32; x.len()];
+        let mut y = vec![0.0f32; x.len()];
+        self.normalize_into(x, mean, inv_std, &mut xhat, &mut y);
         (
             Tensor::from_vec(xhat, x.dims()).expect("same volume"),
             Tensor::from_vec(y, x.dims()).expect("same volume"),
         )
+    }
+
+    /// Forward statistics for `mode`, updating running estimates in train
+    /// mode. Returns `(mean, var, used_batch_stats)`.
+    fn forward_stats(&mut self, x: &Tensor, mode: Mode) -> (Vec<f32>, Vec<f32>, bool) {
+        match mode {
+            Mode::Train => {
+                let (mean, var) = self.batch_stats(x);
+                let m = self.momentum;
+                for (r, &b) in self.running_mean.as_mut_slice().iter_mut().zip(&mean) {
+                    *r = (1.0 - m) * *r + m * b;
+                }
+                for (r, &b) in self.running_var.as_mut_slice().iter_mut().zip(&var) {
+                    *r = (1.0 - m) * *r + m * b;
+                }
+                (mean, var, true)
+            }
+            Mode::Eval => (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+                false,
+            ),
+        }
+    }
+
+    /// Shared backward arithmetic: accumulates γ/β gradients and writes
+    /// `dL/dx` into `dx` (every element is assigned).
+    fn backward_core(&mut self, grad_out: &Tensor, cache: &BnCache, dx: &mut [f32]) {
+        let dims = cache.xhat.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let gy = grad_out.as_slice();
+        let xh = cache.xhat.as_slice();
+        let gv = self.gamma.value.as_slice();
+
+        // per-channel reductions: Σdy and Σ(dy·x̂)
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                for k in 0..plane {
+                    sum_dy[ch] += gy[base + k];
+                    sum_dy_xhat[ch] += gy[base + k] * xh[base + k];
+                }
+            }
+        }
+        for ((g, b), (sx, sd)) in self
+            .gamma
+            .grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.beta.grad.as_mut_slice())
+            .zip(sum_dy_xhat.iter().zip(&sum_dy))
+        {
+            *g += sx;
+            *b += sd;
+        }
+
+        if cache.train {
+            // full batch-norm backward
+            for i in 0..n {
+                for ch in 0..c {
+                    let base = (i * c + ch) * plane;
+                    let scale = gv[ch] * cache.inv_std[ch];
+                    for k in 0..plane {
+                        dx[base + k] = scale
+                            * (gy[base + k]
+                                - sum_dy[ch] / count
+                                - xh[base + k] * sum_dy_xhat[ch] / count);
+                    }
+                }
+            }
+        } else {
+            // eval mode: affine map, dx = dy · γ/σ
+            for i in 0..n {
+                for (ch, (&g, &inv)) in gv.iter().zip(&cache.inv_std).enumerate() {
+                    let base = (i * c + ch) * plane;
+                    let scale = g * inv;
+                    for k in 0..plane {
+                        dx[base + k] = gy[base + k] * scale;
+                    }
+                }
+            }
+        }
     }
 
     fn batch_stats(&self, x: &Tensor) -> (Vec<f32>, Vec<f32>) {
@@ -136,31 +236,43 @@ impl BatchNorm2d {
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
         self.check(x)?;
-        let (mean, var, train) = match mode {
-            Mode::Train => {
-                let (mean, var) = self.batch_stats(x);
-                let m = self.momentum;
-                for (r, &b) in self.running_mean.as_mut_slice().iter_mut().zip(&mean) {
-                    *r = (1.0 - m) * *r + m * b;
-                }
-                for (r, &b) in self.running_var.as_mut_slice().iter_mut().zip(&var) {
-                    *r = (1.0 - m) * *r + m * b;
-                }
-                (mean, var, true)
-            }
-            Mode::Eval => (
-                self.running_mean.as_slice().to_vec(),
-                self.running_var.as_slice().to_vec(),
-                false,
-            ),
-        };
+        let (mean, var, train) = self.forward_stats(x, mode);
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let (xhat, y) = self.normalize(x, &mean, &inv_std);
         self.cache = Some(BnCache {
             xhat,
             inv_std,
             train,
+            from_ws: false,
         });
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        self.check(x)?;
+        // a leftover planned cache (forward-only loops) donates its buffer
+        if let Some(old) = self.cache.take() {
+            if old.from_ws {
+                ws.recycle_tensor(old.xhat);
+            }
+        }
+        let (mean, var, train) = self.forward_stats(x, mode);
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = ws.take(x.len());
+        let mut y = ws.take(x.len());
+        self.normalize_into(x, &mean, &inv_std, &mut xhat, &mut y);
+        self.cache = Some(BnCache {
+            xhat: Tensor::from_vec(xhat, x.dims())?,
+            inv_std,
+            train,
+            from_ws: true,
+        });
+        let y = Tensor::from_vec(y, x.dims())?;
         Ok(apply_hook(&self.hook, y))
     }
 
@@ -180,66 +292,22 @@ impl Layer for BatchNorm2d {
         let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
             layer: self.describe(),
         })?;
-        let dims = cache.xhat.dims().to_vec();
-        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        let plane = h * w;
-        let count = (n * plane) as f32;
-        let gy = grad_out.as_slice();
-        let xh = cache.xhat.as_slice();
-        let gv = self.gamma.value.as_slice();
+        let mut dx = vec![0.0f32; grad_out.len()];
+        self.backward_core(grad_out, &cache, &mut dx);
+        Ok(Tensor::from_vec(dx, cache.xhat.dims())?)
+    }
 
-        // per-channel reductions: Σdy and Σ(dy·x̂)
-        let mut sum_dy = vec![0.0f32; c];
-        let mut sum_dy_xhat = vec![0.0f32; c];
-        for i in 0..n {
-            for ch in 0..c {
-                let base = (i * c + ch) * plane;
-                for k in 0..plane {
-                    sum_dy[ch] += gy[base + k];
-                    sum_dy_xhat[ch] += gy[base + k] * xh[base + k];
-                }
-            }
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        let mut dx = ws.take(grad_out.len());
+        self.backward_core(grad_out, &cache, &mut dx);
+        let out = Tensor::from_vec(dx, cache.xhat.dims())?;
+        if cache.from_ws {
+            ws.recycle_tensor(cache.xhat);
         }
-        for ((g, b), (sx, sd)) in self
-            .gamma
-            .grad
-            .as_mut_slice()
-            .iter_mut()
-            .zip(self.beta.grad.as_mut_slice())
-            .zip(sum_dy_xhat.iter().zip(&sum_dy))
-        {
-            *g += sx;
-            *b += sd;
-        }
-
-        let mut dx = vec![0.0f32; gy.len()];
-        if cache.train {
-            // full batch-norm backward
-            for i in 0..n {
-                for ch in 0..c {
-                    let base = (i * c + ch) * plane;
-                    let scale = gv[ch] * cache.inv_std[ch];
-                    for k in 0..plane {
-                        dx[base + k] = scale
-                            * (gy[base + k]
-                                - sum_dy[ch] / count
-                                - xh[base + k] * sum_dy_xhat[ch] / count);
-                    }
-                }
-            }
-        } else {
-            // eval mode: affine map, dx = dy · γ/σ
-            for i in 0..n {
-                for (ch, (&g, &inv)) in gv.iter().zip(&cache.inv_std).enumerate() {
-                    let base = (i * c + ch) * plane;
-                    let scale = g * inv;
-                    for k in 0..plane {
-                        dx[base + k] = gy[base + k] * scale;
-                    }
-                }
-            }
-        }
-        Ok(Tensor::from_vec(dx, &dims)?)
+        Ok(out)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -370,6 +438,29 @@ mod tests {
                 dx.as_slice()[idx]
             );
         }
+    }
+
+    #[test]
+    fn planned_path_matches_plain_path_bitwise() {
+        let mut a = BatchNorm2d::new(2);
+        let mut b = BatchNorm2d::new(2);
+        let x = normal(&[3, 2, 3, 3], 1.0, 2.0, &mut seeded(9));
+        let dy = normal(&[3, 2, 3, 3], 0.0, 1.0, &mut seeded(10));
+        let mut ws = ahw_tensor::Workspace::new();
+        for mode in [Mode::Train, Mode::Eval, Mode::Train] {
+            let ya = a.forward(&x, mode).unwrap();
+            let yb = b.forward_ws(&x, mode, &mut ws).unwrap();
+            assert_eq!(ya, yb);
+            let dxa = a.backward(&dy).unwrap();
+            let dxb = b.backward_ws(&dy, &mut ws).unwrap();
+            assert_eq!(dxa, dxb);
+            ws.recycle_tensor(yb);
+            ws.recycle_tensor(dxb);
+        }
+        assert_eq!(a.running_mean, b.running_mean);
+        assert_eq!(a.running_var, b.running_var);
+        assert_eq!(a.gamma.grad, b.gamma.grad);
+        assert_eq!(a.beta.grad, b.beta.grad);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
-use crate::util::{par_items_mut, par_map_reduce};
+use crate::util::{par_items2_mut, par_items_mut, par_map_reduce, ErrCell};
 use crate::{NnError, Param};
 use ahw_tensor::ops::{self, ConvGeometry};
 use ahw_tensor::rng::Rng;
-use ahw_tensor::{rng, Tensor};
+use ahw_tensor::{rng, workspace, Tensor, Workspace};
 use std::sync::Arc;
 
 /// 2-D convolution with square kernels, implemented as `im2col` + GEMM.
@@ -25,6 +25,11 @@ pub struct Conv2d {
     hook: Option<Arc<dyn ActivationHook>>,
     param_grads: bool,
     cache: Option<(Tensor, ConvGeometry)>,
+    /// Planned-path cache: the `(n · patch · span)` im2col columns computed
+    /// during `forward_ws`, kept so `backward_ws` reuses them for `dL/dW`
+    /// instead of re-lowering every input, then overwrites them in place
+    /// with `dcols` for `dL/dx`.
+    ws_cache: Option<(Vec<f32>, ConvGeometry, usize)>,
 }
 
 impl std::fmt::Debug for Conv2d {
@@ -71,6 +76,7 @@ impl Conv2d {
             hook: None,
             param_grads: true,
             cache: None,
+            ws_cache: None,
         })
     }
 
@@ -134,22 +140,127 @@ impl Conv2d {
         let xv = x.as_slice();
         let weight = &self.weight.value;
         let bias = self.bias.value.as_slice();
+        let err = ErrCell::new();
         par_items_mut(&mut out, item_out, |i, chunk| {
-            let xi = Tensor::from_vec(
-                xv[i * item_in..(i + 1) * item_in].to_vec(),
-                &[g.channels, g.height, g.width],
-            )
-            .expect("item slice volume matches");
-            let cols = ops::im2col(&xi, g).expect("geometry validated");
-            let y = ops::matmul(weight, &cols).expect("weight/cols shapes agree");
-            chunk.copy_from_slice(y.as_slice());
-            for (oc, b) in bias.iter().enumerate() {
-                for v in &mut chunk[oc * span..(oc + 1) * span] {
-                    *v += b;
+            err.run(|| {
+                let xi = Tensor::from_vec(
+                    xv[i * item_in..(i + 1) * item_in].to_vec(),
+                    &[g.channels, g.height, g.width],
+                )?;
+                let cols = ops::im2col(&xi, g)?;
+                let y = ops::matmul(weight, &cols)?;
+                chunk.copy_from_slice(y.as_slice());
+                for (oc, b) in bias.iter().enumerate() {
+                    for v in &mut chunk[oc * span..(oc + 1) * span] {
+                        *v += b;
+                    }
                 }
-            }
+                Ok::<(), NnError>(())
+            });
         });
+        err.into_result()?;
         Ok(Tensor::from_vec(out, &[n, self.out_channels, oh, ow])?)
+    }
+
+    /// Shared planned backward: consumes the forward's cached im2col columns.
+    /// `dL/dW` reads them first; `dL/dx` then overwrites them in place with
+    /// `dcols` before scattering back to input geometry, so the whole
+    /// backward needs exactly one extra workspace buffer (for `dx`).
+    fn backward_from_cols(
+        &mut self,
+        grad_out: &Tensor,
+        mut cols: Vec<f32>,
+        g: ConvGeometry,
+        n: usize,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        let span = g.out_height() * g.out_width();
+        let patch = g.patch_len();
+        let item_in = g.channels * g.height * g.width;
+        let item_out = self.out_channels * span;
+        let item_cols = patch * span;
+        if grad_out.len() != n * item_out {
+            ws.recycle(cols);
+            return Err(NnError::Tensor(ahw_tensor::TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: grad_out.dims().to_vec(),
+                rhs: vec![n, self.out_channels, g.out_height(), g.out_width()],
+            }));
+        }
+        let dyv = grad_out.as_slice();
+        let oc = self.out_channels;
+
+        // pass 1: dL/dW, dL/db from the cached columns (must run before the
+        // dx pass overwrites them). Accumulator layout and fold order match
+        // the unplanned backward exactly, so gradients stay bit-identical.
+        if self.param_grads {
+            let colsv = &cols[..];
+            let err = ErrCell::new();
+            let (dw, db, _) = par_map_reduce(
+                n,
+                || {
+                    (
+                        vec![0.0f32; oc * patch],
+                        vec![0.0f32; oc],
+                        // per-chunk scratch for one item's weight gradient
+                        vec![0.0f32; oc * patch],
+                    )
+                },
+                |i, (dw, db, dwi)| {
+                    err.run(|| {
+                        let dyi = &dyv[i * item_out..(i + 1) * item_out];
+                        let ci = &colsv[i * item_cols..(i + 1) * item_cols];
+                        ops::matmul_transb_slices(dyi, ci, oc, span, patch, dwi)?;
+                        for (a, b) in dw.iter_mut().zip(dwi.iter()) {
+                            *a += b;
+                        }
+                        for (c, d) in db.iter_mut().enumerate() {
+                            *d += dyi[c * span..(c + 1) * span].iter().sum::<f32>();
+                        }
+                        Ok::<(), NnError>(())
+                    });
+                },
+                |(mut aw, mut ab, s), (bw, bb, _)| {
+                    for (a, b) in aw.iter_mut().zip(&bw) {
+                        *a += b;
+                    }
+                    for (a, b) in ab.iter_mut().zip(&bb) {
+                        *a += b;
+                    }
+                    (aw, ab, s)
+                },
+            );
+            if let Err(e) = err.into_result() {
+                ws.recycle(cols);
+                return Err(e);
+            }
+            for (a, b) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+                *a += b;
+            }
+            for (a, b) in self.bias.grad.as_mut_slice().iter_mut().zip(&db) {
+                *a += b;
+            }
+        }
+
+        // pass 2: dL/dx per item; dcols reuses the column buffer in place
+        let mut dx = ws.take(n * item_in);
+        let wv = self.weight.value.as_slice();
+        let err = ErrCell::new();
+        par_items2_mut(&mut dx, item_in, &mut cols, item_cols, |i, dxi, ci| {
+            err.run(|| {
+                let dyi = &dyv[i * item_out..(i + 1) * item_out];
+                ops::matmul_transa_slices(wv, dyi, patch, oc, span, ci)?;
+                ops::col2im_slices(ci, &g, dxi)?;
+                Ok::<(), NnError>(())
+            });
+        });
+        let res = err.into_result();
+        ws.recycle(cols);
+        if let Err(e) = res {
+            ws.recycle(dx);
+            return Err(e);
+        }
+        Ok(Tensor::from_vec(dx, &[n, g.channels, g.height, g.width])?)
     }
 }
 
@@ -157,7 +268,54 @@ impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
         let g = self.geometry(x)?;
         let y = self.run_forward(x, &g)?;
+        self.ws_cache = None;
         self.cache = Some((x.clone(), g));
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        _mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        let g = self.geometry(x)?;
+        let n = x.dims()[0];
+        let span = g.out_height() * g.out_width();
+        let patch = g.patch_len();
+        let item_in = g.channels * g.height * g.width;
+        let item_out = self.out_channels * span;
+        let item_cols = patch * span;
+        if let Some((old, _, _)) = self.ws_cache.take() {
+            ws.recycle(old);
+        }
+        self.cache = None;
+        let mut out = ws.take(n * item_out);
+        let mut cols = ws.take(n * item_cols);
+        let xv = x.as_slice();
+        let wv = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+        let oc = self.out_channels;
+        let err = ErrCell::new();
+        par_items2_mut(&mut out, item_out, &mut cols, item_cols, |i, out_i, ci| {
+            err.run(|| {
+                ops::im2col_slices(&xv[i * item_in..(i + 1) * item_in], &g, ci)?;
+                ops::matmul_slices(wv, ci, oc, patch, span, out_i)?;
+                for (c, b) in bias.iter().enumerate() {
+                    for v in &mut out_i[c * span..(c + 1) * span] {
+                        *v += b;
+                    }
+                }
+                Ok::<(), NnError>(())
+            });
+        });
+        if let Err(e) = err.into_result() {
+            ws.recycle(out);
+            ws.recycle(cols);
+            return Err(e);
+        }
+        self.ws_cache = Some((cols, g, n));
+        let y = Tensor::from_vec(out, &[n, oc, g.out_height(), g.out_width()])?;
         Ok(apply_hook(&self.hook, y))
     }
 
@@ -168,6 +326,11 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        // a planned forward may precede an unplanned backward; serve it from
+        // the cached columns with a checked-out global workspace
+        if let Some((cols, g, n)) = self.ws_cache.take() {
+            return workspace::with_global(|ws| self.backward_from_cols(grad_out, cols, g, n, ws));
+        }
         let (x, g) = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
             layer: self.describe(),
         })?;
@@ -183,19 +346,24 @@ impl Layer for Conv2d {
 
         // pass 1: dL/dx per item (parallel, disjoint writes)
         let mut dx = vec![0.0f32; n * item_in];
+        let err = ErrCell::new();
         par_items_mut(&mut dx, item_in, |i, chunk| {
-            let dyi = Tensor::from_vec(
-                dyv[i * item_out..(i + 1) * item_out].to_vec(),
-                &[self.out_channels, span],
-            )
-            .expect("item slice volume matches");
-            let dcols = ops::matmul_transa(weight, &dyi).expect("shapes agree");
-            let dxi = ops::col2im(&dcols, &g).expect("geometry validated");
-            chunk.copy_from_slice(dxi.as_slice());
+            err.run(|| {
+                let dyi = Tensor::from_vec(
+                    dyv[i * item_out..(i + 1) * item_out].to_vec(),
+                    &[self.out_channels, span],
+                )?;
+                let dcols = ops::matmul_transa(weight, &dyi)?;
+                let dxi = ops::col2im(&dcols, &g)?;
+                chunk.copy_from_slice(dxi.as_slice());
+                Ok::<(), NnError>(())
+            });
         });
+        err.into_result()?;
 
         // pass 2: dL/dW, dL/db (parallel map-reduce over items)
         if self.param_grads {
+            let err = ErrCell::new();
             let (dw, db) = par_map_reduce(
                 n,
                 || {
@@ -205,26 +373,27 @@ impl Layer for Conv2d {
                     )
                 },
                 |i, (dw, db)| {
-                    let xi = Tensor::from_vec(
-                        xv[i * item_in..(i + 1) * item_in].to_vec(),
-                        &[g.channels, g.height, g.width],
-                    )
-                    .expect("item slice volume matches");
-                    let cols = ops::im2col(&xi, &g).expect("geometry validated");
-                    let dyi = Tensor::from_vec(
-                        dyv[i * item_out..(i + 1) * item_out].to_vec(),
-                        &[self.out_channels, span],
-                    )
-                    .expect("item slice volume matches");
-                    let dwi = ops::matmul_transb(&dyi, &cols).expect("shapes agree");
-                    for (a, b) in dw.iter_mut().zip(dwi.as_slice()) {
-                        *a += b;
-                    }
-                    for (oc, d) in db.iter_mut().enumerate() {
-                        *d += dyi.as_slice()[oc * span..(oc + 1) * span]
-                            .iter()
-                            .sum::<f32>();
-                    }
+                    err.run(|| {
+                        let xi = Tensor::from_vec(
+                            xv[i * item_in..(i + 1) * item_in].to_vec(),
+                            &[g.channels, g.height, g.width],
+                        )?;
+                        let cols = ops::im2col(&xi, &g)?;
+                        let dyi = Tensor::from_vec(
+                            dyv[i * item_out..(i + 1) * item_out].to_vec(),
+                            &[self.out_channels, span],
+                        )?;
+                        let dwi = ops::matmul_transb(&dyi, &cols)?;
+                        for (a, b) in dw.iter_mut().zip(dwi.as_slice()) {
+                            *a += b;
+                        }
+                        for (oc, d) in db.iter_mut().enumerate() {
+                            *d += dyi.as_slice()[oc * span..(oc + 1) * span]
+                                .iter()
+                                .sum::<f32>();
+                        }
+                        Ok::<(), NnError>(())
+                    });
                 },
                 |(mut aw, mut ab), (bw, bb)| {
                     for (a, b) in aw.iter_mut().zip(&bw) {
@@ -236,6 +405,7 @@ impl Layer for Conv2d {
                     (aw, ab)
                 },
             );
+            err.into_result()?;
             for (a, b) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
                 *a += b;
             }
@@ -244,6 +414,15 @@ impl Layer for Conv2d {
             }
         }
         Ok(Tensor::from_vec(dx, x.dims())?)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        match self.ws_cache.take() {
+            Some((cols, g, n)) => self.backward_from_cols(grad_out, cols, g, n, ws),
+            // planned backward after an unplanned forward: fall through to
+            // the input-cache path (allocating, but correct)
+            None => self.backward(grad_out),
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -443,6 +622,45 @@ mod tests {
         let a = conv.forward(&x, Mode::Train).unwrap();
         let b = conv.forward_infer(&x).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planned_path_matches_plain_path_bitwise() {
+        let mut rng = seeded(11);
+        let mut a = Conv2d::new(2, 4, 3, 1, 1, &mut rng).unwrap();
+        let mut b = a.clone();
+        let x = ahw_tensor::rng::normal(&[3, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let dy = ahw_tensor::rng::normal(&[3, 4, 6, 6], 0.0, 1.0, &mut rng);
+        let mut ws = ahw_tensor::Workspace::new();
+        // two rounds so the second one runs entirely on recycled buffers
+        for _ in 0..2 {
+            let ya = a.forward(&x, Mode::Train).unwrap();
+            let yb = b.forward_ws(&x, Mode::Train, &mut ws).unwrap();
+            assert_eq!(ya, yb);
+            let dxa = a.backward(&dy).unwrap();
+            let dxb = b.backward_ws(&dy, &mut ws).unwrap();
+            assert_eq!(dxa, dxb);
+            ws.recycle_tensor(yb);
+            ws.recycle_tensor(dxb);
+        }
+        let bits = |t: &Tensor| -> Vec<u32> { t.as_slice().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&a.weight.grad), bits(&b.weight.grad));
+        assert_eq!(bits(&a.bias.grad), bits(&b.bias.grad));
+    }
+
+    #[test]
+    fn planned_forward_then_plain_backward_works() {
+        let mut rng = seeded(12);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng).unwrap();
+        let mut plain = conv.clone();
+        let x = ahw_tensor::rng::normal(&[2, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let dy = ahw_tensor::rng::normal(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let mut ws = ahw_tensor::Workspace::new();
+        conv.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+        plain.forward(&x, Mode::Eval).unwrap();
+        let dxa = conv.backward(&dy).unwrap();
+        let dxb = plain.backward(&dy).unwrap();
+        assert_eq!(dxa, dxb);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 use crate::layer::{Layer, Mode};
 use crate::NnError;
-use ahw_tensor::Tensor;
+use ahw_tensor::{Shape, Tensor, Workspace};
 
 /// Flattens `(N, …)` to `(N, prod(…))` — the bridge from convolutional
 /// features to the classifier head.
+///
+/// The input shape is cached as a [`Shape`] (inline for rank ≤ 4), so the
+/// planned path caches and restores geometry without heap traffic.
 #[derive(Debug, Clone, Default)]
 pub struct Flatten {
-    cache: Option<Vec<usize>>,
+    cache: Option<Shape>,
 }
 
 impl Flatten {
@@ -15,7 +18,7 @@ impl Flatten {
         Self::default()
     }
 
-    fn flatten(x: &Tensor) -> Result<Tensor, NnError> {
+    fn out_dims(x: &Tensor) -> Result<[usize; 2], NnError> {
         if x.rank() == 0 {
             return Err(NnError::Tensor(ahw_tensor::TensorError::RankMismatch {
                 op: "flatten",
@@ -24,14 +27,18 @@ impl Flatten {
             }));
         }
         let n = x.dims()[0];
-        let rest: usize = x.dims()[1..].iter().product();
-        Ok(x.reshape(&[n, rest])?)
+        Ok([n, x.dims()[1..].iter().product()])
+    }
+
+    fn flatten(x: &Tensor) -> Result<Tensor, NnError> {
+        let out = Self::out_dims(x)?;
+        Ok(x.reshape(&out)?)
     }
 }
 
 impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
-        self.cache = Some(x.dims().to_vec());
+        self.cache = Some(Shape::new(x.dims()));
         Self::flatten(x)
     }
 
@@ -39,11 +46,40 @@ impl Layer for Flatten {
         Self::flatten(x)
     }
 
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        _mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        let out = Self::out_dims(x)?;
+        self.cache = Some(Shape::new(x.dims()));
+        let mut buf = ws.take(x.len());
+        buf.copy_from_slice(x.as_slice());
+        Ok(Tensor::from_vec(buf, &out)?)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
         let dims = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
             layer: self.describe(),
         })?;
-        Ok(grad_out.reshape(&dims)?)
+        Ok(grad_out.reshape(dims.dims())?)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        let dims = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        if grad_out.len() != dims.volume() {
+            return Err(NnError::Tensor(ahw_tensor::TensorError::ShapeMismatch {
+                op: "flatten",
+                lhs: grad_out.dims().to_vec(),
+                rhs: dims.dims().to_vec(),
+            }));
+        }
+        let mut buf = ws.take(grad_out.len());
+        buf.copy_from_slice(grad_out.as_slice());
+        Ok(Tensor::from_vec(buf, dims.dims())?)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -73,5 +109,20 @@ mod tests {
     fn rejects_scalar() {
         let mut f = Flatten::new();
         assert!(f.forward(&Tensor::full(&[], 1.0), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn planned_path_round_trips_shape() {
+        let mut f = Flatten::new();
+        let mut ws = ahw_tensor::Workspace::new();
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let y = f.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        assert_eq!(y.as_slice(), x.as_slice());
+        let dy = Tensor::ones(&[2, 12]);
+        let dx = f.backward_ws(&dy, &mut ws).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 2, 2]);
+        ws.recycle_tensor(y);
+        ws.recycle_tensor(dx);
     }
 }

@@ -2,7 +2,7 @@ use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::{NnError, Param};
 use ahw_tensor::ops;
 use ahw_tensor::rng::Rng;
-use ahw_tensor::{rng, Tensor};
+use ahw_tensor::{rng, workspace, Tensor, Workspace};
 use std::sync::Arc;
 
 /// Fully-connected layer: `y = x · Wᵀ + b` over `(N, in_features)` inputs.
@@ -18,6 +18,11 @@ pub struct Linear {
     hook: Option<Arc<dyn ActivationHook>>,
     param_grads: bool,
     cache: Option<Tensor>,
+    /// Planned-path cache: a workspace copy of the input when parameter
+    /// gradients are enabled, or an empty (non-allocating) vec as the
+    /// "forward happened" marker when they are not — `dL/dx` only needs the
+    /// weights, so attack loops never copy the input at all.
+    ws_cache: Option<Vec<f32>>,
 }
 
 impl std::fmt::Debug for Linear {
@@ -54,6 +59,7 @@ impl Linear {
             hook: None,
             param_grads: true,
             cache: None,
+            ws_cache: None,
         })
     }
 
@@ -96,12 +102,130 @@ impl Linear {
         }
         Ok(y)
     }
+
+    /// Shared planned backward: consumes the forward's cached input copy
+    /// (empty when parameter gradients are disabled).
+    fn backward_with_ws(
+        &mut self,
+        grad_out: &Tensor,
+        xbuf: Vec<f32>,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        if grad_out.rank() != 2 || grad_out.dims()[1] != self.out_features {
+            if !xbuf.is_empty() {
+                ws.recycle(xbuf);
+            }
+            return Err(NnError::Tensor(ahw_tensor::TensorError::ShapeMismatch {
+                op: "linear",
+                lhs: grad_out.dims().to_vec(),
+                rhs: vec![0, self.out_features],
+            }));
+        }
+        let n = grad_out.dims()[0];
+        let gv = grad_out.as_slice();
+        let mut dx = ws.take(n * self.in_features);
+        if let Err(e) = ops::matmul_slices(
+            gv,
+            self.weight.value.as_slice(),
+            n,
+            self.out_features,
+            self.in_features,
+            &mut dx,
+        ) {
+            ws.recycle(dx);
+            if !xbuf.is_empty() {
+                ws.recycle(xbuf);
+            }
+            return Err(e.into());
+        }
+        if self.param_grads {
+            let mut dw = ws.take(self.out_features * self.in_features);
+            if let Err(e) = ops::matmul_transa_slices(
+                gv,
+                &xbuf,
+                self.out_features,
+                n,
+                self.in_features,
+                &mut dw,
+            ) {
+                ws.recycle(dw);
+                ws.recycle(dx);
+                ws.recycle(xbuf);
+                return Err(e.into());
+            }
+            // same element-wise accumulation as `add_scaled(&dw, 1.0)`
+            for (a, b) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+                *a += b;
+            }
+            ws.recycle(dw);
+            let db = self.bias.grad.as_mut_slice();
+            for r in 0..n {
+                for (c, d) in db.iter_mut().enumerate() {
+                    *d += gv[r * self.out_features + c];
+                }
+            }
+        }
+        if !xbuf.is_empty() {
+            ws.recycle(xbuf);
+        }
+        Ok(Tensor::from_vec(dx, &[n, self.in_features])?)
+    }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
         let y = self.run_forward(x)?;
+        self.ws_cache = None;
         self.cache = Some(x.clone());
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        _mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        if x.rank() != 2 || x.dims()[1] != self.in_features {
+            return Err(NnError::Tensor(ahw_tensor::TensorError::ShapeMismatch {
+                op: "linear",
+                lhs: x.dims().to_vec(),
+                rhs: vec![0, self.in_features],
+            }));
+        }
+        if let Some(old) = self.ws_cache.take() {
+            if !old.is_empty() {
+                ws.recycle(old);
+            }
+        }
+        self.cache = None;
+        let n = x.dims()[0];
+        let mut y = ws.take(n * self.out_features);
+        if let Err(e) = ops::matmul_transb_slices(
+            x.as_slice(),
+            self.weight.value.as_slice(),
+            n,
+            self.in_features,
+            self.out_features,
+            &mut y,
+        ) {
+            ws.recycle(y);
+            return Err(e.into());
+        }
+        let bias = self.bias.value.as_slice();
+        for r in 0..n {
+            for (c, b) in bias.iter().enumerate() {
+                y[r * self.out_features + c] += b;
+            }
+        }
+        self.ws_cache = Some(if self.param_grads {
+            let mut xc = ws.take(x.len());
+            xc.copy_from_slice(x.as_slice());
+            xc
+        } else {
+            Vec::new()
+        });
+        let y = Tensor::from_vec(y, &[n, self.out_features])?;
         Ok(apply_hook(&self.hook, y))
     }
 
@@ -111,6 +235,9 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if let Some(xbuf) = self.ws_cache.take() {
+            return workspace::with_global(|ws| self.backward_with_ws(grad_out, xbuf, ws));
+        }
         let x = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
             layer: self.describe(),
         })?;
@@ -128,6 +255,13 @@ impl Layer for Linear {
             }
         }
         Ok(dx)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        match self.ws_cache.take() {
+            Some(xbuf) => self.backward_with_ws(grad_out, xbuf, ws),
+            None => self.backward(grad_out),
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -263,6 +397,42 @@ mod tests {
         let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
         lin.backward(&dy).unwrap();
         assert_eq!(lin.bias.grad.as_slice(), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn planned_path_matches_plain_path_bitwise() {
+        let mut rng = seeded(6);
+        let mut a = Linear::new(5, 3, &mut rng).unwrap();
+        let mut b = a.clone();
+        let x = ahw_tensor::rng::normal(&[4, 5], 0.0, 1.0, &mut rng);
+        let dy = ahw_tensor::rng::normal(&[4, 3], 0.0, 1.0, &mut rng);
+        let mut ws = ahw_tensor::Workspace::new();
+        for _ in 0..2 {
+            let ya = a.forward(&x, Mode::Eval).unwrap();
+            let yb = b.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+            assert_eq!(ya, yb);
+            let dxa = a.backward(&dy).unwrap();
+            let dxb = b.backward_ws(&dy, &mut ws).unwrap();
+            assert_eq!(dxa, dxb);
+            ws.recycle_tensor(yb);
+            ws.recycle_tensor(dxb);
+        }
+        let bits = |t: &Tensor| -> Vec<u32> { t.as_slice().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&a.weight.grad), bits(&b.weight.grad));
+        assert_eq!(bits(&a.bias.grad), bits(&b.bias.grad));
+    }
+
+    #[test]
+    fn planned_backward_skips_input_copy_without_param_grads() {
+        let mut rng = seeded(7);
+        let mut lin = Linear::new(3, 2, &mut rng).unwrap();
+        lin.set_param_grads(false);
+        let x = Tensor::ones(&[2, 3]);
+        let mut ws = ahw_tensor::Workspace::new();
+        lin.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+        let dx = lin.backward_ws(&Tensor::ones(&[2, 2]), &mut ws).unwrap();
+        assert_eq!(dx.dims(), &[2, 3]);
+        assert_eq!(lin.weight.grad.sum(), 0.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
 use crate::NnError;
-use ahw_tensor::{Tensor, TensorError};
+use ahw_tensor::{Shape, Tensor, TensorError, Workspace};
 use std::sync::Arc;
 
 fn pool_out(extent: usize, kernel: usize, stride: usize) -> usize {
@@ -39,8 +39,11 @@ pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
     hook: Option<Arc<dyn ActivationHook>>,
-    /// (input dims, flat index into the input chosen per output element)
-    cache: Option<(Vec<usize>, Vec<u32>)>,
+    /// (input shape, flat index into the input chosen per output element)
+    cache: Option<(Shape, Vec<u32>)>,
+    /// Retired argmax storage, reused by the next planned forward so the
+    /// steady state allocates nothing.
+    spare: Vec<u32>,
 }
 
 impl std::fmt::Debug for MaxPool2d {
@@ -60,18 +63,21 @@ impl MaxPool2d {
             stride,
             hook: None,
             cache: None,
+            spare: Vec::new(),
         }
     }
 
-    fn run(&self, x: &Tensor) -> Result<(Tensor, Vec<u32>), NnError> {
-        let (n, c, h, w) = check_pool_input(x, self.kernel, self.stride, "maxpool2d")?;
+    /// Fills `out` (already sized `n·c·oh·ow`) and rewrites `argmax` to the
+    /// same length. Returns the output dims.
+    fn run_core(&self, x: &Tensor, out: &mut [f32], argmax: &mut Vec<u32>) -> [usize; 4] {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let (oh, ow) = (
             pool_out(h, self.kernel, self.stride),
             pool_out(w, self.kernel, self.stride),
         );
         let xv = x.as_slice();
-        let mut out = vec![0.0f32; n * c * oh * ow];
-        let mut argmax = vec![0u32; out.len()];
+        argmax.clear();
+        argmax.resize(out.len(), 0);
         let mut o = 0usize;
         for i in 0..n {
             for ch in 0..c {
@@ -98,14 +104,26 @@ impl MaxPool2d {
                 }
             }
         }
-        Ok((Tensor::from_vec(out, &[n, c, oh, ow])?, argmax))
+        [n, c, oh, ow]
+    }
+
+    fn run(&self, x: &Tensor) -> Result<(Tensor, Vec<u32>), NnError> {
+        let (n, c, h, w) = check_pool_input(x, self.kernel, self.stride, "maxpool2d")?;
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = Vec::new();
+        let od = self.run_core(x, &mut out, &mut argmax);
+        Ok((Tensor::from_vec(out, &od)?, argmax))
     }
 }
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
         let (y, argmax) = self.run(x)?;
-        self.cache = Some((x.dims().to_vec(), argmax));
+        self.cache = Some((Shape::new(x.dims()), argmax));
         Ok(apply_hook(&self.hook, y))
     }
 
@@ -114,17 +132,56 @@ impl Layer for MaxPool2d {
         Ok(apply_hook(&self.hook, y))
     }
 
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        _mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        let (n, c, h, w) = check_pool_input(x, self.kernel, self.stride, "maxpool2d")?;
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
+        // reclaim the previous cycle's argmax storage (forward-only loops
+        // leave it in `cache`, forward/backward cycles in `spare`)
+        let mut argmax = match self.cache.take() {
+            Some((_, a)) => a,
+            None => std::mem::take(&mut self.spare),
+        };
+        let mut out = ws.take(n * c * oh * ow);
+        let od = self.run_core(x, &mut out, &mut argmax);
+        self.cache = Some((Shape::new(x.dims()), argmax));
+        let y = Tensor::from_vec(out, &od)?;
+        Ok(apply_hook(&self.hook, y))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let (in_dims, argmax) = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+        let (in_shape, argmax) = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
             layer: self.describe(),
         })?;
         debug_assert_eq!(argmax.len(), grad_out.len());
-        let mut dx = Tensor::zeros(&in_dims);
+        let mut dx = Tensor::zeros(in_shape.dims());
         let dxv = dx.as_mut_slice();
         for (&g, &idx) in grad_out.as_slice().iter().zip(&argmax) {
             dxv[idx as usize] += g;
         }
+        self.spare = argmax;
         Ok(dx)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        let (in_shape, argmax) = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        debug_assert_eq!(argmax.len(), grad_out.len());
+        let mut dx = ws.take(in_shape.volume());
+        dx.fill(0.0);
+        for (&g, &idx) in grad_out.as_slice().iter().zip(&argmax) {
+            dx[idx as usize] += g;
+        }
+        self.spare = argmax;
+        Ok(Tensor::from_vec(dx, in_shape.dims())?)
     }
 
     fn set_hook(
@@ -160,7 +217,7 @@ pub struct AvgPool2d {
     kernel: usize,
     stride: usize,
     hook: Option<Arc<dyn ActivationHook>>,
-    cache: Option<Vec<usize>>,
+    cache: Option<Shape>,
 }
 
 impl std::fmt::Debug for AvgPool2d {
@@ -183,15 +240,15 @@ impl AvgPool2d {
         }
     }
 
-    fn run(&self, x: &Tensor) -> Result<Tensor, NnError> {
-        let (n, c, h, w) = check_pool_input(x, self.kernel, self.stride, "avgpool2d")?;
+    /// Fills `out` (already sized `n·c·oh·ow`) and returns the output dims.
+    fn run_core(&self, x: &Tensor, out: &mut [f32]) -> [usize; 4] {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let (oh, ow) = (
             pool_out(h, self.kernel, self.stride),
             pool_out(w, self.kernel, self.stride),
         );
         let xv = x.as_slice();
         let inv = 1.0 / (self.kernel * self.kernel) as f32;
-        let mut out = vec![0.0f32; n * c * oh * ow];
         let mut o = 0usize;
         for i in 0..n {
             for ch in 0..c {
@@ -212,33 +269,29 @@ impl AvgPool2d {
                 }
             }
         }
-        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
-    }
-}
-
-impl Layer for AvgPool2d {
-    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
-        let y = self.run(x)?;
-        self.cache = Some(x.dims().to_vec());
-        Ok(apply_hook(&self.hook, y))
+        [n, c, oh, ow]
     }
 
-    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
-        Ok(apply_hook(&self.hook, self.run(x)?))
+    fn run(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        let (n, c, h, w) = check_pool_input(x, self.kernel, self.stride, "avgpool2d")?;
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let od = self.run_core(x, &mut out);
+        Ok(Tensor::from_vec(out, &od)?)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let in_dims = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.describe(),
-        })?;
+    /// Scatters `grad_out` back over the input windows; `dx` must be
+    /// zero-filled on entry.
+    fn backward_core(&self, grad_out: &Tensor, in_dims: &[usize], dx: &mut [f32]) {
         let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
         let (oh, ow) = (
             pool_out(h, self.kernel, self.stride),
             pool_out(w, self.kernel, self.stride),
         );
         let inv = 1.0 / (self.kernel * self.kernel) as f32;
-        let mut dx = Tensor::zeros(&in_dims);
-        let dxv = dx.as_mut_slice();
         let gv = grad_out.as_slice();
         let mut o = 0usize;
         for i in 0..n {
@@ -252,14 +305,62 @@ impl Layer for AvgPool2d {
                             let iy = oy * self.stride + ky;
                             let row = base + iy * w + ox * self.stride;
                             for kx in 0..self.kernel {
-                                dxv[row + kx] += g;
+                                dx[row + kx] += g;
                             }
                         }
                     }
                 }
             }
         }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        let y = self.run(x)?;
+        self.cache = Some(Shape::new(x.dims()));
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        Ok(apply_hook(&self.hook, self.run(x)?))
+    }
+
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        _mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        let (n, c, h, w) = check_pool_input(x, self.kernel, self.stride, "avgpool2d")?;
+        let (oh, ow) = (
+            pool_out(h, self.kernel, self.stride),
+            pool_out(w, self.kernel, self.stride),
+        );
+        let mut out = ws.take(n * c * oh * ow);
+        let od = self.run_core(x, &mut out);
+        self.cache = Some(Shape::new(x.dims()));
+        let y = Tensor::from_vec(out, &od)?;
+        Ok(apply_hook(&self.hook, y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let in_shape = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        let mut dx = Tensor::zeros(in_shape.dims());
+        self.backward_core(grad_out, in_shape.dims(), dx.as_mut_slice());
         Ok(dx)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        let in_shape = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.describe(),
+        })?;
+        let mut dx = ws.take(in_shape.volume());
+        dx.fill(0.0);
+        self.backward_core(grad_out, in_shape.dims(), &mut dx);
+        Ok(Tensor::from_vec(dx, in_shape.dims())?)
     }
 
     fn set_hook(
@@ -349,6 +450,41 @@ mod tests {
     fn pool_rejects_wrong_rank() {
         let mut pool = AvgPool2d::new(2, 2);
         assert!(pool.forward(&Tensor::zeros(&[4, 4]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn planned_pool_paths_match_plain_paths() {
+        let x = Tensor::from_vec(
+            (0..32).map(|i| (i % 7) as f32 - 3.0).collect(),
+            &[2, 1, 4, 4],
+        )
+        .unwrap();
+        let dy = Tensor::from_vec((0..8).map(|i| i as f32 + 1.0).collect(), &[2, 1, 2, 2]).unwrap();
+        let mut ws = ahw_tensor::Workspace::new();
+
+        let mut ma = MaxPool2d::new(2, 2);
+        let mut mb = MaxPool2d::new(2, 2);
+        let mut aa = AvgPool2d::new(2, 2);
+        let mut ab = AvgPool2d::new(2, 2);
+        for _ in 0..2 {
+            let ya = ma.forward(&x, Mode::Eval).unwrap();
+            let yb = mb.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+            assert_eq!(ya, yb);
+            let dxa = ma.backward(&dy).unwrap();
+            let dxb = mb.backward_ws(&dy, &mut ws).unwrap();
+            assert_eq!(dxa, dxb);
+            ws.recycle_tensor(yb);
+            ws.recycle_tensor(dxb);
+
+            let ya = aa.forward(&x, Mode::Eval).unwrap();
+            let yb = ab.forward_ws(&x, Mode::Eval, &mut ws).unwrap();
+            assert_eq!(ya, yb);
+            let dxa = aa.backward(&dy).unwrap();
+            let dxb = ab.backward_ws(&dy, &mut ws).unwrap();
+            assert_eq!(dxa, dxb);
+            ws.recycle_tensor(yb);
+            ws.recycle_tensor(dxb);
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod block;
 mod error;
 mod layer;
 mod param;
+mod plan;
 mod sequential;
 
 pub mod archs;
@@ -53,4 +54,5 @@ pub use block::BasicBlock;
 pub use error::NnError;
 pub use layer::{ActivationHook, HookSlot, Layer, Mode};
 pub use param::Param;
+pub use plan::PlanCache;
 pub use sequential::{Sequential, Site};

@@ -1,6 +1,6 @@
 use crate::layer::{ActivationHook, HookSlot, Layer, Mode};
-use crate::{NnError, Param};
-use ahw_tensor::{ops, pool, Tensor};
+use crate::{NnError, Param, PlanCache};
+use ahw_tensor::{ops, pool, Tensor, Workspace};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -153,6 +153,147 @@ impl Sequential {
             cur = layer.backward(&cur)?;
         }
         Ok(cur)
+    }
+
+    /// Workspace-backed forward pass: every intermediate activation is
+    /// drawn from `ws` and recycled as soon as the next layer consumes it.
+    /// The returned tensor's storage also comes from `ws` — recycle it
+    /// when done to keep the steady state allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, NnError> {
+        let mut cur: Option<Tensor> = None;
+        for layer in &mut self.layers {
+            let next = match &cur {
+                Some(t) => layer.forward_ws(t, mode, ws)?,
+                None => layer.forward_ws(x, mode, ws)?,
+            };
+            if let Some(prev) = cur.take() {
+                ws.recycle_tensor(prev);
+            }
+            cur = Some(next);
+        }
+        match cur {
+            Some(t) => Ok(t),
+            None => Ok(x.clone()),
+        }
+    }
+
+    /// Workspace-backed backward pass. Takes `grad_out` by value so its
+    /// storage (typically a workspace buffer) can be recycled once the
+    /// last layer consumes it; the returned gradient's storage comes
+    /// from `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if a forward pass did not
+    /// precede.
+    pub fn backward_ws(&mut self, grad_out: Tensor, ws: &mut Workspace) -> Result<Tensor, NnError> {
+        let mut cur = grad_out;
+        for layer in self.layers.iter_mut().rev() {
+            let next = layer.backward_ws(&cur, ws)?;
+            ws.recycle_tensor(cur);
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Caching forward pass through the plan cache's arena. Notes the
+    /// batch geometry for the plan-hit telemetry and reuses all scratch
+    /// buffers parked by earlier runs at the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward_planned(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        cache: &mut PlanCache,
+    ) -> Result<Tensor, NnError> {
+        cache.note(x.dims());
+        self.forward_ws(x, mode, cache.workspace())
+    }
+
+    /// Predicted class index per row, running through the plan cache's
+    /// arena (eval mode). Equivalent to [`predict`](Sequential::predict)
+    /// but allocation-free in the steady state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn predict_planned(
+        &mut self,
+        x: &Tensor,
+        cache: &mut PlanCache,
+    ) -> Result<Vec<usize>, NnError> {
+        let logits = self.forward_planned(x, Mode::Eval, cache)?;
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        let lv = logits.as_slice();
+        let preds = (0..n)
+            .map(|r| {
+                let row = &lv[r * c..(r + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect();
+        cache.workspace().recycle_tensor(logits);
+        Ok(preds)
+    }
+
+    /// Planned variant of [`input_gradient`](Sequential::input_gradient):
+    /// same loss and gradient bit-for-bit, but every activation, gradient,
+    /// and conv scratch buffer comes from the plan cache's arena. The
+    /// returned gradient's storage is workspace-backed — recycle it into
+    /// `cache.workspace()` when finished with it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and loss errors.
+    pub fn input_gradient_planned(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        mode: Mode,
+        cache: &mut PlanCache,
+    ) -> Result<(f32, Tensor), NnError> {
+        cache.note(x.dims());
+        self.set_param_grads(false);
+        let result = (|| {
+            let ws = cache.workspace();
+            let logits = self.forward_ws(x, mode, ws)?;
+            let ws = cache.workspace();
+            let mut grad = ws.take(logits.len());
+            let loss = match ops::cross_entropy_with_grad_into(&logits, labels, &mut grad) {
+                Ok(l) => l,
+                Err(e) => {
+                    ws.recycle(grad);
+                    ws.recycle_tensor(logits);
+                    return Err(e.into());
+                }
+            };
+            let dlogits = Tensor::from_vec(grad, logits.dims())?;
+            ws.recycle_tensor(logits);
+            let dx = self.backward_ws(dlogits, ws)?;
+            Ok((loss, dx))
+        })();
+        self.set_param_grads(true);
+        result
     }
 
     /// Visits every trainable parameter of every layer.
@@ -485,5 +626,67 @@ mod tests {
         let old = m.replace_layer(1, Box::new(ReLU::new()));
         assert_eq!(old.describe(), "relu");
         assert_eq!(m.len(), 3);
+    }
+
+    fn conv_model(seed: u64) -> Sequential {
+        use crate::layers::{Conv2d, Flatten, MaxPool2d};
+        let mut rng = seeded(seed);
+        let mut m = Sequential::new();
+        m.push(Conv2d::new(2, 4, 3, 1, 1, &mut rng).unwrap());
+        m.push(ReLU::new());
+        m.push(MaxPool2d::new(2, 2));
+        m.push(Flatten::new());
+        m.push(Linear::new(4 * 3 * 3, 3, &mut rng).unwrap());
+        m
+    }
+
+    #[test]
+    fn planned_input_gradient_matches_plain_bitwise() {
+        let mut plain = conv_model(20);
+        let mut planned = plain.clone();
+        let mut cache = PlanCache::new();
+        let labels = [0usize, 2, 1, 0];
+        for round in 0..3 {
+            let x = normal(&[4, 2, 6, 6], 0.0, 1.0, &mut seeded(30 + round));
+            let (la, ga) = plain.input_gradient(&x, &labels, Mode::Eval).unwrap();
+            let (lb, gb) = planned
+                .input_gradient_planned(&x, &labels, Mode::Eval, &mut cache)
+                .unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits(), "round {round}: loss differs");
+            assert_eq!(ga.dims(), gb.dims());
+            for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round}: grad differs");
+            }
+            cache.workspace().recycle_tensor(gb);
+        }
+        // one geometry, so rounds 2 and 3 were plan-cache hits
+        assert_eq!(cache.compiled_geometries(), 1);
+    }
+
+    #[test]
+    fn planned_predict_matches_plain() {
+        let mut m = conv_model(21);
+        let mut cache = PlanCache::new();
+        let x = normal(&[5, 2, 6, 6], 0.0, 1.0, &mut seeded(22));
+        let plain = m.predict(&x).unwrap();
+        for _ in 0..2 {
+            let planned = m.predict_planned(&x, &mut cache).unwrap();
+            assert_eq!(plain, planned);
+        }
+    }
+
+    #[test]
+    fn planned_steady_state_leaves_no_outstanding_buffers() {
+        let mut m = conv_model(23);
+        let mut cache = PlanCache::new();
+        let x = normal(&[3, 2, 6, 6], 0.0, 1.0, &mut seeded(24));
+        let labels = [1usize, 0, 2];
+        for _ in 0..2 {
+            let (_, g) = m
+                .input_gradient_planned(&x, &labels, Mode::Eval, &mut cache)
+                .unwrap();
+            cache.workspace().recycle_tensor(g);
+        }
+        assert_eq!(cache.workspace().outstanding(), 0);
     }
 }

@@ -1,6 +1,6 @@
 //! SGD training loop.
 
-use crate::{Mode, NnError, Sequential};
+use crate::{Mode, NnError, PlanCache, Sequential};
 use ahw_telemetry as telemetry;
 use ahw_tensor::rng::Rng;
 use ahw_tensor::{ops, Tensor};
@@ -140,6 +140,10 @@ impl Trainer {
         let xv = images.as_slice();
         let mut order: Vec<usize> = (0..n).collect();
         let mut stats = Vec::with_capacity(self.config.epochs);
+        // one plan per fit call: batch geometries repeat every epoch, so
+        // all activation/gradient scratch is reused across the whole run
+        let mut plan = PlanCache::new();
+        let mut batch_labels: Vec<usize> = Vec::with_capacity(self.config.batch_size);
         for epoch in 0..self.config.epochs {
             let _epoch_span =
                 telemetry::span_labeled("nn.train.epoch", || format!("epoch={epoch}"));
@@ -152,15 +156,26 @@ impl Trainer {
                 BATCHES.incr();
                 let mut bd = images.dims().to_vec();
                 bd[0] = chunk.len();
-                let mut data = Vec::with_capacity(chunk.len() * item);
-                let mut batch_labels = Vec::with_capacity(chunk.len());
-                for &i in chunk {
-                    data.extend_from_slice(&xv[i * item..(i + 1) * item]);
+                let mut data = plan.workspace().take(chunk.len() * item);
+                batch_labels.clear();
+                for (bi, &i) in chunk.iter().enumerate() {
+                    data[bi * item..(bi + 1) * item].copy_from_slice(&xv[i * item..(i + 1) * item]);
                     batch_labels.push(labels[i]);
                 }
                 let xb = Tensor::from_vec(data, &bd)?;
-                let logits = model.forward(&xb, Mode::Train)?;
-                let (loss, dlogits) = ops::cross_entropy_with_grad(&logits, &batch_labels)?;
+                let logits = model.forward_planned(&xb, Mode::Train, &mut plan)?;
+                let ws = plan.workspace();
+                let mut dlogits = ws.take(logits.len());
+                let loss =
+                    match ops::cross_entropy_with_grad_into(&logits, &batch_labels, &mut dlogits) {
+                        Ok(l) => l,
+                        Err(e) => {
+                            ws.recycle(dlogits);
+                            ws.recycle_tensor(logits);
+                            ws.recycle_tensor(xb);
+                            return Err(e.into());
+                        }
+                    };
                 // batch accuracy from the logits we already have
                 let c = logits.dims()[1];
                 for (r, &label) in batch_labels.iter().enumerate() {
@@ -180,7 +195,11 @@ impl Trainer {
                         correct += 1;
                     }
                 }
-                model.backward(&dlogits)?;
+                let dlogits = Tensor::from_vec(dlogits, logits.dims())?;
+                ws.recycle_tensor(logits);
+                let dx = model.backward_ws(dlogits, ws)?;
+                ws.recycle_tensor(dx);
+                ws.recycle_tensor(xb);
                 self.step(model);
                 epoch_loss += loss as f64;
                 batches += 1;

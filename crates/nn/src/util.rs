@@ -46,6 +46,94 @@ where
     });
 }
 
+/// Like [`par_items_mut`] over two buffers partitioned by the same item
+/// index: `f(i, a_item, b_item)` gets item `i`'s chunk of both `a` and `b`.
+/// The planned conv paths use this to fill an output buffer and an `im2col`
+/// column cache (or read one and write the other) in a single parallel pass.
+///
+/// `a.len()` must be a multiple of `a_item`, and `b` must hold the same
+/// number of `b_item`-sized items.
+///
+/// # Panics
+///
+/// Panics if a worker task panics.
+pub fn par_items2_mut<F>(a: &mut [f32], a_item: usize, b: &mut [f32], b_item: usize, f: F)
+where
+    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+{
+    if a_item == 0 || b_item == 0 || a.is_empty() {
+        return;
+    }
+    debug_assert_eq!(a.len() % a_item, 0);
+    let n = a.len() / a_item;
+    debug_assert_eq!(b.len(), n * b_item);
+    struct Ptr(*mut f32);
+    unsafe impl Send for Ptr {}
+    unsafe impl Sync for Ptr {}
+    impl Ptr {
+        // accessor keeps the closure capturing `&Ptr` (Sync), not the raw
+        // pointer field itself
+        fn get(&self) -> *mut f32 {
+            self.0
+        }
+    }
+    let pa = Ptr(a.as_mut_ptr());
+    let pb = Ptr(b.as_mut_ptr());
+    pool::parallel_for_ranges(n, 1, |r| {
+        for i in r {
+            // SAFETY: items partition both slices disjointly by index, the
+            // borrows end before `parallel_for_ranges` returns, and the
+            // closure only touches its own item's ranges.
+            let ai = unsafe { std::slice::from_raw_parts_mut(pa.get().add(i * a_item), a_item) };
+            let bi = unsafe { std::slice::from_raw_parts_mut(pb.get().add(i * b_item), b_item) };
+            f(i, ai, bi);
+        }
+    });
+}
+
+/// First-error slot for fallible bodies inside parallel regions. Workers
+/// run their fallible body through [`ErrCell::run`]; the caller converts
+/// the cell back into a `Result` with [`ErrCell::into_result`] afterwards.
+/// Only the first recorded error is kept.
+pub struct ErrCell<E>(Mutex<Option<E>>);
+
+impl<E> ErrCell<E> {
+    pub fn new() -> Self {
+        ErrCell(Mutex::new(None))
+    }
+
+    /// Runs `f`, recording its error if the cell is still empty.
+    pub fn run(&self, f: impl FnOnce() -> Result<(), E>) {
+        if let Err(e) = f() {
+            let mut slot = self
+                .0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    }
+
+    /// Returns the first recorded error, if any.
+    pub fn into_result(self) -> Result<(), E> {
+        match self
+            .0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<E> Default for ErrCell<E> {
+    fn default() -> Self {
+        ErrCell::new()
+    }
+}
+
 /// Maps `f` over `0..n` on the worker pool and reduces the per-chunk partial
 /// results with `reduce`. `init` creates each chunk's accumulator.
 ///
@@ -121,6 +209,30 @@ mod tests {
     fn par_items_mut_handles_empty() {
         let mut out: Vec<f32> = vec![];
         par_items_mut(&mut out, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_items2_mut_partitions_both_buffers() {
+        let mut a = vec![0.0f32; 5 * 2];
+        let mut b = vec![0.0f32; 5 * 3];
+        par_items2_mut(&mut a, 2, &mut b, 3, |i, ai, bi| {
+            ai.fill(i as f32);
+            bi.fill(-(i as f32));
+        });
+        for i in 0..5 {
+            assert!(a[i * 2..(i + 1) * 2].iter().all(|&v| v == i as f32));
+            assert!(b[i * 3..(i + 1) * 3].iter().all(|&v| v == -(i as f32)));
+        }
+    }
+
+    #[test]
+    fn err_cell_keeps_first_error_only() {
+        let cell: ErrCell<&'static str> = ErrCell::new();
+        cell.run(|| Ok(()));
+        cell.run(|| Err("first"));
+        cell.run(|| Err("second"));
+        assert_eq!(cell.into_result(), Err("first"));
+        assert_eq!(ErrCell::<()>::new().into_result(), Ok(()));
     }
 
     #[test]

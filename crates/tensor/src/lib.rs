@@ -37,7 +37,9 @@ pub mod ops;
 pub mod pool;
 pub mod quant;
 pub mod rng;
+pub mod workspace;
 
 pub use error::TensorError;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -13,6 +13,16 @@
 //! autovectorize, and (unlike the earlier `if aik == 0.0` skip) they
 //! preserve IEEE non-finite semantics — `0·∞` and `0·NaN` contribute NaN
 //! instead of being silently dropped.
+//!
+//! Every op comes in three forms sharing one kernel, so results are
+//! bit-identical across all of them:
+//!
+//! - the allocating form (`matmul`) returning a fresh [`Tensor`];
+//! - an `_into` form (`matmul_into`) writing into a caller-provided slice,
+//!   typically checked out of a [`crate::Workspace`];
+//! - a `_slices` form (`matmul_slices`) taking raw slices plus explicit
+//!   dimensions, for per-item use inside pool tasks where no `Tensor`
+//!   wrapper exists.
 
 use crate::{pool, Tensor, TensorError};
 use ahw_telemetry as telemetry;
@@ -151,36 +161,61 @@ fn require_rank2(t: &Tensor, op: &'static str) -> Result<(), TensorError> {
     Ok(())
 }
 
-/// Blocked matrix multiplication `a (m×k) · b (k×n) -> (m×n)`.
-///
-/// # Errors
-///
-/// Returns [`TensorError::RankMismatch`] unless both operands are rank 2 and
-/// [`TensorError::ShapeMismatch`] if `a.cols != b.rows`.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    require_rank2(a, "matmul")?;
-    require_rank2(b, "matmul")?;
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
+fn require_len(len: usize, expected: usize) -> Result<(), TensorError> {
+    if len != expected {
+        return Err(TensorError::LengthMismatch {
+            expected,
+            actual: len,
+        });
+    }
+    Ok(())
+}
+
+/// Validates the operand ranks/shapes shared by the `matmul*` entry points
+/// and returns `(m, k, n)`. `ta`/`tb` flag a logically transposed operand
+/// (stored `(k×m)` / `(n×k)` respectively).
+fn gemm_dims(
+    a: &Tensor,
+    b: &Tensor,
+    op: &'static str,
+    ta: bool,
+    tb: bool,
+) -> Result<(usize, usize, usize), TensorError> {
+    require_rank2(a, op)?;
+    require_rank2(b, op)?;
+    let (m, k) = if ta {
+        (a.dims()[1], a.dims()[0])
+    } else {
+        (a.dims()[0], a.dims()[1])
+    };
+    let (n, k2) = if tb {
+        (b.dims()[0], b.dims()[1])
+    } else {
+        (b.dims()[1], b.dims()[0])
+    };
     if k != k2 {
         return Err(TensorError::ShapeMismatch {
-            op: "matmul",
+            op,
             lhs: a.dims().to_vec(),
             rhs: b.dims().to_vec(),
         });
     }
+    Ok((m, k, n))
+}
+
+/// Core of [`matmul`]: accumulates `a (m×k) · b (k×n)` into `out`, which the
+/// caller must have zeroed. Dimensions are trusted (checked by the public
+/// wrappers); telemetry is recorded here so every entry form counts alike.
+fn matmul_kernel(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     let _span = telemetry::span_labeled("tensor.ops.matmul", || format!("{m}x{k}x{n}"));
     count_gemm(m, n, k);
-    let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
     // Row-partitioned i-k-j order with k-blocking and 4-row register
     // blocking: each chunk of output rows streams the same block of b rows
     // (L2 resident) while every row's accumulation order stays fixed — kb
     // blocks ascending, kk ascending 4 at a time, products folded
     // left-to-right — independent of the partition and of whether the row
     // went through the blocked or the tail path.
-    pool::par_row_chunks_mut(&mut out, n, par_min_rows(k * n), |first, orows| {
+    pool::par_row_chunks_mut(out, n, par_min_rows(k * n), |first, orows| {
         let rows = orows.len() / n;
         for kb in (0..k).step_by(BLOCK) {
             let kend = (kb + BLOCK).min(k);
@@ -235,7 +270,68 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             }
         }
     });
+}
+
+/// Blocked matrix multiplication `a (m×k) · b (k×n) -> (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless both operands are rank 2 and
+/// [`TensorError::ShapeMismatch`] if `a.cols != b.rows`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = gemm_dims(a, b, "matmul", false, false)?;
+    let mut out = vec![0.0f32; m * n];
+    matmul_kernel(a.as_slice(), b.as_slice(), m, k, n, &mut out);
     Tensor::from_vec(out, &[m, n])
+}
+
+/// [`matmul`] writing into a caller-provided `(m·n)` buffer. Bit-identical
+/// to the allocating form; prior contents of `out` are discarded.
+///
+/// # Errors
+///
+/// As [`matmul`], plus [`TensorError::LengthMismatch`] if `out` is not
+/// `m·n` elements.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<(), TensorError> {
+    let (m, k, n) = gemm_dims(a, b, "matmul", false, false)?;
+    matmul_slices(a.as_slice(), b.as_slice(), m, k, n, out)
+}
+
+/// [`matmul`] on raw slices with explicit dimensions, for per-item calls
+/// inside pool tasks. Prior contents of `out` are discarded.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if any slice length disagrees
+/// with `(m, k, n)`.
+pub fn matmul_slices(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    require_len(a.len(), m * k)?;
+    require_len(b.len(), k * n)?;
+    require_len(out.len(), m * n)?;
+    out.fill(0.0);
+    matmul_kernel(a, b, m, k, n, out);
+    Ok(())
+}
+
+/// Core of [`matmul_transb`]. Fully overwrites `out` (no pre-zero needed).
+fn matmul_transb_kernel(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let _span = telemetry::span_labeled("tensor.ops.matmul_transb", || format!("{m}x{k}x{n}"));
+    count_gemm(m, n, k);
+    pool::par_row_chunks_mut(out, n, par_min_rows(k * n), |first, orows| {
+        for (r, orow) in orows.chunks_mut(n).enumerate() {
+            let arow = &av[(first + r) * k..(first + r + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot4(arow, &bv[j * k..(j + 1) * k]);
+            }
+        }
+    });
 }
 
 /// `a (m×k) · bᵀ` where `b` is stored `(n×k)` — i.e. GEMM with the right-hand
@@ -249,61 +345,52 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
 /// [`matmul`] does.
 pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    require_rank2(a, "matmul_transb")?;
-    require_rank2(b, "matmul_transb")?;
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (n, k2) = (b.dims()[0], b.dims()[1]);
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_transb",
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-        });
-    }
-    let _span = telemetry::span_labeled("tensor.ops.matmul_transb", || format!("{m}x{k}x{n}"));
-    count_gemm(m, n, k);
+    let (m, k, n) = gemm_dims(a, b, "matmul_transb", false, true)?;
     let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    pool::par_row_chunks_mut(&mut out, n, par_min_rows(k * n), |first, orows| {
-        for (r, orow) in orows.chunks_mut(n).enumerate() {
-            let arow = &av[(first + r) * k..(first + r + 1) * k];
-            for (j, o) in orow.iter_mut().enumerate() {
-                *o = dot4(arow, &bv[j * k..(j + 1) * k]);
-            }
-        }
-    });
+    matmul_transb_kernel(a.as_slice(), b.as_slice(), m, k, n, &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
-/// `aᵀ (k×m → m as rows) · b` where `a` is stored `(k×m)` — GEMM with the
-/// left-hand operand logically transposed. Used by weight-gradient passes
-/// (`dW = dYᵀ · X`).
+/// [`matmul_transb`] writing into a caller-provided `(m·n)` buffer.
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
-/// [`matmul`] does.
-pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    require_rank2(a, "matmul_transa")?;
-    require_rank2(b, "matmul_transa")?;
-    let (k, m) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_transa",
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-        });
-    }
+/// As [`matmul_transb`], plus [`TensorError::LengthMismatch`] for a wrong
+/// `out` length.
+pub fn matmul_transb_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<(), TensorError> {
+    let (m, k, n) = gemm_dims(a, b, "matmul_transb", false, true)?;
+    matmul_transb_slices(a.as_slice(), b.as_slice(), m, k, n, out)
+}
+
+/// [`matmul_transb`] on raw slices (`a` is `(m×k)`, `b` is stored `(n×k)`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if any slice length disagrees
+/// with `(m, k, n)`.
+pub fn matmul_transb_slices(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    require_len(a.len(), m * k)?;
+    require_len(b.len(), n * k)?;
+    require_len(out.len(), m * n)?;
+    matmul_transb_kernel(a, b, m, k, n, out);
+    Ok(())
+}
+
+/// Core of [`matmul_transa`]: accumulates into `out`, which the caller must
+/// have zeroed. The left operand is stored `(k×m)`.
+fn matmul_transa_kernel(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     let _span = telemetry::span_labeled("tensor.ops.matmul_transa", || format!("{m}x{k}x{n}"));
     count_gemm(m, n, k);
-    let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
     // Same row-partitioned structure as `matmul`; the left operand is read
     // down its columns (stride m), the right operand by rows.
-    pool::par_row_chunks_mut(&mut out, n, par_min_rows(k * n), |first, orows| {
+    pool::par_row_chunks_mut(out, n, par_min_rows(k * n), |first, orows| {
         for kb in (0..k).step_by(BLOCK) {
             let kend = (kb + BLOCK).min(k);
             for (r, orow) in orows.chunks_mut(n).enumerate() {
@@ -332,7 +419,56 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             }
         }
     });
+}
+
+/// `aᵀ (k×m → m as rows) · b` where `a` is stored `(k×m)` — GEMM with the
+/// left-hand operand logically transposed. Used by weight-gradient passes
+/// (`dW = dYᵀ · X`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
+/// [`matmul`] does.
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = gemm_dims(a, b, "matmul_transa", true, false)?;
+    let mut out = vec![0.0f32; m * n];
+    matmul_transa_kernel(a.as_slice(), b.as_slice(), m, k, n, &mut out);
     Tensor::from_vec(out, &[m, n])
+}
+
+/// [`matmul_transa`] writing into a caller-provided `(m·n)` buffer. Prior
+/// contents of `out` are discarded.
+///
+/// # Errors
+///
+/// As [`matmul_transa`], plus [`TensorError::LengthMismatch`] for a wrong
+/// `out` length.
+pub fn matmul_transa_into(a: &Tensor, b: &Tensor, out: &mut [f32]) -> Result<(), TensorError> {
+    let (m, k, n) = gemm_dims(a, b, "matmul_transa", true, false)?;
+    matmul_transa_slices(a.as_slice(), b.as_slice(), m, k, n, out)
+}
+
+/// [`matmul_transa`] on raw slices (`a` is stored `(k×m)`, `b` is `(k×n)`).
+/// Prior contents of `out` are discarded.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if any slice length disagrees
+/// with `(m, k, n)`.
+pub fn matmul_transa_slices(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    require_len(a.len(), k * m)?;
+    require_len(b.len(), k * n)?;
+    require_len(out.len(), m * n)?;
+    out.fill(0.0);
+    matmul_transa_kernel(a, b, m, k, n, out);
+    Ok(())
 }
 
 /// Geometry of a 2-D convolution used by [`im2col`]/[`col2im`].
@@ -394,31 +530,16 @@ impl ConvGeometry {
     }
 }
 
-/// Lowers a `(C, H, W)` image to a `(C·K·K, OH·OW)` patch matrix so that
-/// convolution becomes a single GEMM with the `(OC, C·K·K)` weight matrix.
-///
-/// # Errors
-///
-/// Returns [`TensorError::ShapeMismatch`] if `input` does not match the
-/// geometry, or [`TensorError::InvalidArgument`] for a degenerate geometry.
-pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
-    g.validate()?;
-    if input.dims() != [g.channels, g.height, g.width] {
-        return Err(TensorError::ShapeMismatch {
-            op: "im2col",
-            lhs: input.dims().to_vec(),
-            rhs: vec![g.channels, g.height, g.width],
-        });
-    }
+/// Core of [`im2col`]: gathers into `out`, which the caller must have zeroed
+/// (padding positions are skipped, not written).
+fn im2col_kernel(inp: &[f32], g: &ConvGeometry, out: &mut [f32]) {
     let (oh, ow) = (g.out_height(), g.out_width());
     let cols = oh * ow;
     let _span = telemetry::span("tensor.ops.im2col");
     IM2COL_ELEMS.add((g.patch_len() * cols) as u64);
-    let mut out = vec![0.0f32; g.patch_len() * cols];
-    let inp = input.as_slice();
     // Each patch row (c, ky, kx) gathers into a disjoint output row, so the
     // rows partition freely over the pool.
-    pool::par_row_chunks_mut(&mut out, cols, par_min_rows(cols), |first, orows| {
+    pool::par_row_chunks_mut(out, cols, par_min_rows(cols), |first, orows| {
         for (r, orow) in orows.chunks_mut(cols).enumerate() {
             let row = first + r;
             let c = row / (g.kernel * g.kernel);
@@ -452,37 +573,79 @@ pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
             }
         }
     });
-    Tensor::from_vec(out, &[g.patch_len(), cols])
 }
 
-/// Scatters a `(C·K·K, OH·OW)` patch-gradient matrix back to a `(C, H, W)`
-/// image, accumulating overlapping contributions — the adjoint of [`im2col`].
+/// Lowers a `(C, H, W)` image to a `(C·K·K, OH·OW)` patch matrix so that
+/// convolution becomes a single GEMM with the `(OC, C·K·K)` weight matrix.
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::ShapeMismatch`] if `cols` does not match the
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not match the
 /// geometry, or [`TensorError::InvalidArgument`] for a degenerate geometry.
-pub fn col2im(cols_t: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
+pub fn im2col(input: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
     g.validate()?;
-    let (oh, ow) = (g.out_height(), g.out_width());
-    let cols = oh * ow;
-    if cols_t.dims() != [g.patch_len(), cols] {
+    if input.dims() != [g.channels, g.height, g.width] {
         return Err(TensorError::ShapeMismatch {
-            op: "col2im",
-            lhs: cols_t.dims().to_vec(),
-            rhs: vec![g.patch_len(), cols],
+            op: "im2col",
+            lhs: input.dims().to_vec(),
+            rhs: vec![g.channels, g.height, g.width],
         });
     }
+    let cols = g.out_height() * g.out_width();
+    let mut out = vec![0.0f32; g.patch_len() * cols];
+    im2col_kernel(input.as_slice(), g, &mut out);
+    Tensor::from_vec(out, &[g.patch_len(), cols])
+}
+
+/// [`im2col`] writing into a caller-provided `(C·K·K · OH·OW)` buffer.
+/// Prior contents of `out` are discarded.
+///
+/// # Errors
+///
+/// As [`im2col`], plus [`TensorError::LengthMismatch`] for a wrong `out`
+/// length.
+pub fn im2col_into(input: &Tensor, g: &ConvGeometry, out: &mut [f32]) -> Result<(), TensorError> {
+    g.validate()?;
+    if input.dims() != [g.channels, g.height, g.width] {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: input.dims().to_vec(),
+            rhs: vec![g.channels, g.height, g.width],
+        });
+    }
+    im2col_slices(input.as_slice(), g, out)
+}
+
+/// [`im2col`] on raw slices, for per-item calls inside pool tasks. Prior
+/// contents of `out` are discarded.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for a degenerate geometry or
+/// [`TensorError::LengthMismatch`] for wrong slice lengths.
+pub fn im2col_slices(inp: &[f32], g: &ConvGeometry, out: &mut [f32]) -> Result<(), TensorError> {
+    g.validate()?;
+    let cols = g.out_height() * g.out_width();
+    require_len(inp.len(), g.channels * g.height * g.width)?;
+    require_len(out.len(), g.patch_len() * cols)?;
+    out.fill(0.0);
+    im2col_kernel(inp, g, out);
+    Ok(())
+}
+
+/// Core of [`col2im`]: accumulates into `out`, which the caller must have
+/// zeroed.
+fn col2im_kernel(cv: &[f32], g: &ConvGeometry, out: &mut [f32]) {
+    let (oh, ow) = (g.out_height(), g.out_width());
+    let cols = oh * ow;
     let _span = telemetry::span("tensor.ops.col2im");
     COL2IM_ELEMS.add((g.patch_len() * cols) as u64);
-    let mut out = vec![0.0f32; g.channels * g.height * g.width];
-    let cv = cols_t.as_slice();
     let plane_len = g.height * g.width;
     // Overlapping scatters stay within one channel plane, so channels are
     // the natural disjoint partition; each plane keeps its serial
     // (ky, kx, oy, ox) accumulation order at every thread count.
     pool::par_row_chunks_mut(
-        &mut out,
+        out,
         plane_len,
         par_min_rows(g.kernel * g.kernel * cols),
         |first, planes| {
@@ -511,7 +674,83 @@ pub fn col2im(cols_t: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> 
             }
         },
     );
+}
+
+/// Scatters a `(C·K·K, OH·OW)` patch-gradient matrix back to a `(C, H, W)`
+/// image, accumulating overlapping contributions — the adjoint of [`im2col`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not match the
+/// geometry, or [`TensorError::InvalidArgument`] for a degenerate geometry.
+pub fn col2im(cols_t: &Tensor, g: &ConvGeometry) -> Result<Tensor, TensorError> {
+    g.validate()?;
+    let cols = g.out_height() * g.out_width();
+    if cols_t.dims() != [g.patch_len(), cols] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols_t.dims().to_vec(),
+            rhs: vec![g.patch_len(), cols],
+        });
+    }
+    let mut out = vec![0.0f32; g.channels * g.height * g.width];
+    col2im_kernel(cols_t.as_slice(), g, &mut out);
     Tensor::from_vec(out, &[g.channels, g.height, g.width])
+}
+
+/// [`col2im`] writing into a caller-provided `(C·H·W)` buffer. Prior
+/// contents of `out` are discarded.
+///
+/// # Errors
+///
+/// As [`col2im`], plus [`TensorError::LengthMismatch`] for a wrong `out`
+/// length.
+pub fn col2im_into(cols_t: &Tensor, g: &ConvGeometry, out: &mut [f32]) -> Result<(), TensorError> {
+    g.validate()?;
+    let cols = g.out_height() * g.out_width();
+    if cols_t.dims() != [g.patch_len(), cols] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols_t.dims().to_vec(),
+            rhs: vec![g.patch_len(), cols],
+        });
+    }
+    col2im_slices(cols_t.as_slice(), g, out)
+}
+
+/// [`col2im`] on raw slices, for per-item calls inside pool tasks. Prior
+/// contents of `out` are discarded.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for a degenerate geometry or
+/// [`TensorError::LengthMismatch`] for wrong slice lengths.
+pub fn col2im_slices(cv: &[f32], g: &ConvGeometry, out: &mut [f32]) -> Result<(), TensorError> {
+    g.validate()?;
+    let cols = g.out_height() * g.out_width();
+    require_len(cv.len(), g.patch_len() * cols)?;
+    require_len(out.len(), g.channels * g.height * g.width)?;
+    out.fill(0.0);
+    col2im_kernel(cv, g, out);
+    Ok(())
+}
+
+/// Core of [`softmax_rows`]: normalizes `out` (which already holds the
+/// logits) in place, row by row.
+fn softmax_kernel(out: &mut [f32], cols: usize) {
+    pool::par_row_chunks_mut(out, cols.max(1), par_min_rows(cols), |_, rows_block| {
+        for row in rows_block.chunks_mut(cols.max(1)) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    });
 }
 
 /// Numerically-stable row-wise softmax of a `(rows, cols)` matrix.
@@ -523,25 +762,41 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
     require_rank2(logits, "softmax_rows")?;
     let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
     let mut out = logits.as_slice().to_vec();
-    pool::par_row_chunks_mut(
-        &mut out,
-        cols.max(1),
-        par_min_rows(cols),
-        |_, rows_block| {
-            for row in rows_block.chunks_mut(cols.max(1)) {
-                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0;
-                for v in row.iter_mut() {
-                    *v = (*v - m).exp();
-                    sum += *v;
-                }
-                for v in row.iter_mut() {
-                    *v /= sum;
-                }
-            }
-        },
-    );
+    softmax_kernel(&mut out, cols);
     Tensor::from_vec(out, &[rows, cols])
+}
+
+/// [`softmax_rows`] writing into a caller-provided `(rows·cols)` buffer.
+/// Prior contents of `out` are discarded.
+///
+/// # Errors
+///
+/// As [`softmax_rows`], plus [`TensorError::LengthMismatch`] for a wrong
+/// `out` length.
+pub fn softmax_rows_into(logits: &Tensor, out: &mut [f32]) -> Result<(), TensorError> {
+    require_rank2(logits, "softmax_rows")?;
+    require_len(out.len(), logits.len())?;
+    out.copy_from_slice(logits.as_slice());
+    softmax_kernel(out, logits.dims()[1]);
+    Ok(())
+}
+
+fn cross_entropy_dims(logits: &Tensor, labels: &[usize]) -> Result<(usize, usize), TensorError> {
+    require_rank2(logits, "cross_entropy")?;
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != rows {
+        return Err(TensorError::InvalidArgument(format!(
+            "{} labels for {} logit rows",
+            labels.len(),
+            rows
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= cols) {
+        return Err(TensorError::InvalidArgument(format!(
+            "label {bad} out of range for {cols} classes"
+        )));
+    }
+    Ok((rows, cols))
 }
 
 /// Mean cross-entropy of row-wise `logits` against integer `labels`, together
@@ -558,39 +813,49 @@ pub fn cross_entropy_with_grad(
     logits: &Tensor,
     labels: &[usize],
 ) -> Result<(f32, Tensor), TensorError> {
-    require_rank2(logits, "cross_entropy")?;
-    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
-    if labels.len() != rows {
-        return Err(TensorError::InvalidArgument(format!(
-            "{} labels for {} logit rows",
-            labels.len(),
-            rows
-        )));
-    }
-    if let Some(&bad) = labels.iter().find(|&&l| l >= cols) {
-        return Err(TensorError::InvalidArgument(format!(
-            "label {bad} out of range for {cols} classes"
-        )));
-    }
-    let probs = softmax_rows(logits)?;
-    let pv = probs.as_slice();
+    let (rows, cols) = cross_entropy_dims(logits, labels)?;
+    let mut grad = vec![0.0f32; rows * cols];
+    let loss = cross_entropy_with_grad_into(logits, labels, &mut grad)?;
+    Ok((loss, Tensor::from_vec(grad, &[rows, cols])?))
+}
+
+/// [`cross_entropy_with_grad`] writing the gradient into a caller-provided
+/// `(rows·cols)` buffer and returning only the loss. Prior contents of
+/// `grad` are discarded.
+///
+/// # Errors
+///
+/// As [`cross_entropy_with_grad`], plus [`TensorError::LengthMismatch`] for
+/// a wrong `grad` length.
+pub fn cross_entropy_with_grad_into(
+    logits: &Tensor,
+    labels: &[usize],
+    grad: &mut [f32],
+) -> Result<f32, TensorError> {
+    let (rows, cols) = cross_entropy_dims(logits, labels)?;
+    require_len(grad.len(), rows * cols)?;
+    // grad holds the softmax probabilities first; the label probability is
+    // read before the in-place `-1`, so the arithmetic (and therefore the
+    // bits) match the two-buffer formulation exactly.
+    grad.copy_from_slice(logits.as_slice());
+    softmax_kernel(grad, cols);
     let mut loss = 0.0f32;
-    let mut grad = pv.to_vec();
     for (r, &label) in labels.iter().enumerate() {
-        let p = pv[r * cols + label].max(1e-12);
+        let p = grad[r * cols + label].max(1e-12);
         loss -= p.ln();
         grad[r * cols + label] -= 1.0;
     }
     let inv = 1.0 / rows as f32;
-    for g in &mut grad {
+    for g in grad.iter_mut() {
         *g *= inv;
     }
-    Ok((loss * inv, Tensor::from_vec(grad, &[rows, cols])?))
+    Ok(loss * inv)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::{self, ensure};
 
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -680,11 +945,11 @@ mod tests {
         let v = rand_tensor(&[rows], 78);
         let mut out = vec![0.0f32; cols];
         vecmat_accumulate(v.as_slice(), mat.as_slice(), cols, &mut out);
-        for j in 0..cols {
+        for (j, &o) in out.iter().enumerate() {
             let expect: f32 = (0..rows)
                 .map(|i| v.as_slice()[i] * mat.as_slice()[i * cols + j])
                 .sum();
-            assert!((out[j] - expect).abs() < 1e-4, "{} vs {expect}", out[j]);
+            assert!((o - expect).abs() < 1e-4, "{o} vs {expect}");
         }
         // zero input element times an infinite weight must poison the column
         let mut out = vec![0.0f32; 1];
@@ -744,6 +1009,114 @@ mod tests {
         let b = rand_tensor(&[6, 3], 8);
         let expect = matmul(&a.transpose().unwrap(), &b).unwrap();
         assert_close(&matmul_transa(&a, &b).unwrap(), &expect, 1e-4);
+    }
+
+    #[test]
+    fn gemm_into_variants_match_allocating_bitwise() {
+        // Property: the `_into` forms write the exact bits the allocating
+        // forms return, even into a buffer full of garbage.
+        check::cases(32).run("ops::gemm_into_equivalence", |g| {
+            let m = g.usize_in("m", 1, 9);
+            let k = g.usize_in("k", 1, 70);
+            let n = g.usize_in("n", 1, 9);
+            let seed = g.seed("seed");
+            let mut r = crate::rng::seeded(seed);
+            let a = crate::rng::uniform(&[m, k], -1.0, 1.0, &mut r);
+            let b = crate::rng::uniform(&[k, n], -1.0, 1.0, &mut r);
+            let at = crate::rng::uniform(&[k, m], -1.0, 1.0, &mut r);
+            let bt = crate::rng::uniform(&[n, k], -1.0, 1.0, &mut r);
+            let mut out = vec![f32::NAN; m * n];
+            matmul_into(&a, &b, &mut out).unwrap();
+            ensure(out == matmul(&a, &b).unwrap().as_slice(), "matmul_into")?;
+            out.fill(f32::NAN);
+            matmul_transa_into(&at, &b, &mut out).unwrap();
+            ensure(
+                out == matmul_transa(&at, &b).unwrap().as_slice(),
+                "matmul_transa_into",
+            )?;
+            out.fill(f32::NAN);
+            matmul_transb_into(&a, &bt, &mut out).unwrap();
+            ensure(
+                out == matmul_transb(&a, &bt).unwrap().as_slice(),
+                "matmul_transb_into",
+            )
+        });
+    }
+
+    #[test]
+    fn conv_lowering_into_variants_match_allocating_bitwise() {
+        check::cases(32).run("ops::conv_into_equivalence", |g| {
+            let geo = ConvGeometry {
+                channels: g.usize_in("channels", 1, 3),
+                height: g.usize_in("height", 4, 9),
+                width: g.usize_in("width", 4, 9),
+                kernel: g.usize_in("kernel", 1, 4),
+                stride: g.usize_in("stride", 1, 3),
+                padding: g.usize_in("padding", 0, 2),
+            };
+            check::assume(geo.validate().is_ok())?;
+            let seed = g.seed("seed");
+            let mut r = crate::rng::seeded(seed);
+            let x = crate::rng::uniform(&[geo.channels, geo.height, geo.width], -1.0, 1.0, &mut r);
+            let span = geo.out_height() * geo.out_width();
+            let cols = crate::rng::uniform(&[geo.patch_len(), span], -1.0, 1.0, &mut r);
+            let mut cbuf = vec![f32::NAN; geo.patch_len() * span];
+            im2col_into(&x, &geo, &mut cbuf).unwrap();
+            ensure(cbuf == im2col(&x, &geo).unwrap().as_slice(), "im2col_into")?;
+            let mut ibuf = vec![f32::NAN; geo.channels * geo.height * geo.width];
+            col2im_into(&cols, &geo, &mut ibuf).unwrap();
+            ensure(
+                ibuf == col2im(&cols, &geo).unwrap().as_slice(),
+                "col2im_into",
+            )
+        });
+    }
+
+    #[test]
+    fn softmax_and_cross_entropy_into_match_allocating_bitwise() {
+        check::cases(32).run("ops::softmax_ce_into_equivalence", |g| {
+            let rows = g.usize_in("rows", 1, 8);
+            let cols = g.usize_in("cols", 1, 12);
+            let seed = g.seed("seed");
+            let mut r = crate::rng::seeded(seed);
+            let logits = crate::rng::uniform(&[rows, cols], -4.0, 4.0, &mut r);
+            let labels: Vec<usize> = (0..rows).map(|i| (seed as usize + i) % cols).collect();
+            let mut sm = vec![f32::NAN; rows * cols];
+            softmax_rows_into(&logits, &mut sm).unwrap();
+            ensure(
+                sm == softmax_rows(&logits).unwrap().as_slice(),
+                "softmax_rows_into",
+            )?;
+            let (loss, grad) = cross_entropy_with_grad(&logits, &labels).unwrap();
+            let mut gbuf = vec![f32::NAN; rows * cols];
+            let loss2 = cross_entropy_with_grad_into(&logits, &labels, &mut gbuf).unwrap();
+            ensure(loss.to_bits() == loss2.to_bits(), "loss bits")?;
+            ensure(gbuf == grad.as_slice(), "grad bits")
+        });
+    }
+
+    #[test]
+    fn into_variants_reject_wrong_output_length() {
+        let a = rand_tensor(&[2, 3], 61);
+        let b = rand_tensor(&[3, 4], 62);
+        let mut short = vec![0.0f32; 7];
+        assert!(matches!(
+            matmul_into(&a, &b, &mut short),
+            Err(TensorError::LengthMismatch { expected: 8, .. })
+        ));
+        assert!(matmul_slices(a.as_slice(), b.as_slice(), 2, 3, 4, &mut short).is_err());
+        let g = ConvGeometry {
+            channels: 1,
+            height: 4,
+            width: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let x = rand_tensor(&[1, 4, 4], 63);
+        assert!(im2col_into(&x, &g, &mut short).is_err());
+        assert!(softmax_rows_into(&a, &mut short).is_err());
+        assert!(cross_entropy_with_grad_into(&a, &[0, 1], &mut short).is_err());
     }
 
     #[test]

@@ -1,10 +1,18 @@
 use crate::TensorError;
 
+/// Ranks up to this value are stored inline; see [`Shape`].
+const INLINE_RANK: usize = 4;
+
 /// The extent of a tensor along each dimension, row-major.
 ///
-/// `Shape` is a thin, validated wrapper over `Vec<usize>`. The empty shape
-/// `[]` denotes a scalar with one element. Zero-sized dimensions are allowed
-/// (producing empty tensors), matching NumPy semantics.
+/// The empty shape `[]` denotes a scalar with one element. Zero-sized
+/// dimensions are allowed (producing empty tensors), matching NumPy
+/// semantics.
+///
+/// Shapes up to rank 4 — every shape the workspace actually uses, from
+/// `(N, C, H, W)` activations down — are stored inline, so constructing a
+/// `Shape` (and therefore wrapping a workspace buffer in a `Tensor`) does
+/// not touch the heap. Higher ranks fall back to a heap vector.
 ///
 /// ```
 /// use ahw_tensor::Shape;
@@ -13,32 +21,53 @@ use crate::TensorError;
 /// assert_eq!(s.volume(), 24);
 /// assert_eq!(s.rank(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, dims: [usize; INLINE_RANK] },
+    Heap(Vec<usize>),
+}
+
+#[derive(Clone)]
 pub struct Shape {
-    dims: Vec<usize>,
+    repr: Repr,
 }
 
 impl Shape {
-    /// Creates a shape from a slice of dimension extents.
+    /// Creates a shape from a slice of dimension extents (allocation-free
+    /// for ranks up to 4).
     pub fn new(dims: &[usize]) -> Self {
-        Shape {
-            dims: dims.to_vec(),
+        if dims.len() <= INLINE_RANK {
+            let mut inline = [0usize; INLINE_RANK];
+            inline[..dims.len()].copy_from_slice(dims);
+            Shape {
+                repr: Repr::Inline {
+                    len: dims.len() as u8,
+                    dims: inline,
+                },
+            }
+        } else {
+            Shape {
+                repr: Repr::Heap(dims.to_vec()),
+            }
         }
     }
 
     /// The dimension extents as a slice.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        match &self.repr {
+            Repr::Inline { len, dims } => &dims[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.dims().len()
     }
 
     /// Total number of elements (product of extents; 1 for a scalar).
     pub fn volume(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Extent along dimension `d`.
@@ -47,7 +76,7 @@ impl Shape {
     ///
     /// Panics if `d >= rank()`.
     pub fn dim(&self, d: usize) -> usize {
-        self.dims[d]
+        self.dims()[d]
     }
 
     /// Row-major strides (in elements) for this shape.
@@ -57,9 +86,10 @@ impl Shape {
     /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
     /// ```
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1; self.dims.len()];
-        for i in (0..self.dims.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.dims[i + 1];
+        let dims = self.dims();
+        let mut strides = vec![1; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
         }
         strides
     }
@@ -71,19 +101,47 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs
     /// from the shape rank or any coordinate exceeds its extent.
     pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d) {
+        let dims = self.dims();
+        if index.len() != dims.len() || index.iter().zip(dims).any(|(&i, &d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
-                shape: self.dims.clone(),
+                shape: dims.to_vec(),
             });
         }
         let mut off = 0;
         let mut stride = 1;
-        for (i, d) in index.iter().zip(&self.dims).rev() {
+        for (i, d) in index.iter().zip(dims).rev() {
             off += i * stride;
             stride *= d;
         }
         Ok(off)
+    }
+}
+
+impl Default for Shape {
+    /// The scalar shape `[]`.
+    fn default() -> Self {
+        Shape::new(&[])
+    }
+}
+
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims() == other.dims()
+    }
+}
+
+impl Eq for Shape {}
+
+impl std::hash::Hash for Shape {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.dims().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shape").field("dims", &self.dims()).finish()
     }
 }
 
@@ -95,13 +153,19 @@ impl From<&[usize]> for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape { dims }
+        if dims.len() <= INLINE_RANK {
+            Shape::new(&dims)
+        } else {
+            Shape {
+                repr: Repr::Heap(dims),
+            }
+        }
     }
 }
 
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:?}", self.dims)
+        write!(f, "{:?}", self.dims())
     }
 }
 
@@ -145,5 +209,32 @@ mod tests {
         let s = Shape::new(&[5, 7, 3]);
         let st = s.strides();
         assert_eq!(s.offset(&[2, 4, 1]).unwrap(), 2 * st[0] + 4 * st[1] + st[2]);
+    }
+
+    #[test]
+    fn inline_and_heap_shapes_compare_by_dims() {
+        // rank 5 spills to the heap; equality and hashing must not care
+        let a = Shape::new(&[2, 3, 4, 5, 6]);
+        let b = Shape::from(vec![2, 3, 4, 5, 6]);
+        assert_eq!(a, b);
+        assert_eq!(a.dims(), &[2, 3, 4, 5, 6]);
+        assert_eq!(a.strides(), vec![360, 120, 30, 6, 1]);
+        let c = Shape::new(&[2, 3]);
+        let d = Shape::from(vec![2, 3]);
+        assert_eq!(c, d);
+        assert_ne!(a, c);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |s: &Shape| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&c), h(&d));
+    }
+
+    #[test]
+    fn default_is_scalar() {
+        assert_eq!(Shape::default(), Shape::new(&[]));
     }
 }

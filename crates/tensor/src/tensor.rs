@@ -183,6 +183,35 @@ impl Tensor {
         }
     }
 
+    /// Applies `f` to every element, writing into a caller-provided buffer
+    /// (typically checked out of a [`crate::Workspace`]). Bit-identical to
+    /// [`Tensor::map`]; prior contents of `out` are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `out.len()` differs from
+    /// the element count.
+    pub fn map_into<F: Fn(f32) -> f32 + Sync>(
+        &self,
+        f: F,
+        out: &mut [f32],
+    ) -> Result<(), TensorError> {
+        if out.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: self.data.len(),
+                actual: out.len(),
+            });
+        }
+        let src = &self.data;
+        pool::par_row_chunks_mut(out, 1, ELEMWISE_MIN_CHUNK, |first, chunk| {
+            let len = chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&src[first..first + len]) {
+                *o = f(v);
+            }
+        });
+        Ok(())
+    }
+
     /// Applies `f` to every element in place.
     pub fn map_in_place<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
         pool::par_row_chunks_mut(&mut self.data, 1, ELEMWISE_MIN_CHUNK, |_, chunk| {
@@ -468,6 +497,16 @@ mod tests {
         let mut t = Tensor::from_slice(&[-2.0, 0.5, 9.0]);
         t.clamp_in_place(0.0, 1.0);
         assert_eq!(t.as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn map_into_matches_map() {
+        let t = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
+        let mut out = vec![f32::NAN; 3];
+        t.map_into(|v| v.max(0.0), &mut out).unwrap();
+        assert_eq!(out, t.map(|v| v.max(0.0)).as_slice());
+        let mut short = vec![0.0; 2];
+        assert!(t.map_into(|v| v, &mut short).is_err());
     }
 
     #[test]

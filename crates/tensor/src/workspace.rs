@@ -1,0 +1,250 @@
+//! Scratch-buffer arena for the planned execution path.
+//!
+//! A [`Workspace`] keeps freed `Vec<f32>` buffers in per-length free lists
+//! so the steady state of a shape-stable loop (training batches, PGD attack
+//! steps, epsilon sweeps) performs zero heap allocations: every `take`
+//! after warm-up pops a buffer that some earlier iteration recycled.
+//!
+//! ## Invariants
+//!
+//! - Buffers are keyed by *exact length*. A request for `len` elements is
+//!   only served by a recycled buffer of the same length, so capacity never
+//!   drifts and a returned slice is always fully addressable.
+//! - `take` returns a buffer with **unspecified contents** (fresh buffers
+//!   happen to be zeroed, recycled ones carry stale data). Callers must
+//!   fully overwrite it or use [`Workspace::take_zeroed`]. The `_into`
+//!   kernels in [`crate::ops`] zero their outputs themselves where their
+//!   accumulation pattern requires it.
+//! - The arena is deliberately *not* thread-safe (`&mut self` everywhere):
+//!   each worker shard owns its own `Workspace`. Code that runs inside pool
+//!   tasks and cannot carry one through the closure checks one out of the
+//!   process-wide pool via [`with_global`].
+//!
+//! Reuse is observable through telemetry: `tensor.workspace.reused` /
+//! `tensor.workspace.allocated` count `take` outcomes and the
+//! `tensor.workspace.bytes_resident` gauge tracks bytes parked in free
+//! lists across all arenas.
+
+use crate::Tensor;
+use ahw_telemetry::{LazyCounter, LazyGauge};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static WS_REUSED: LazyCounter = LazyCounter::new("tensor.workspace.reused");
+static WS_ALLOCATED: LazyCounter = LazyCounter::new("tensor.workspace.allocated");
+static WS_BYTES_RESIDENT: LazyGauge = LazyGauge::new("tensor.workspace.bytes_resident");
+
+/// Bytes currently parked in the free lists of *all* live workspaces.
+static RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn resident_add(bytes: usize) {
+    let now = RESIDENT_BYTES.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    WS_BYTES_RESIDENT.set(now as f64);
+}
+
+fn resident_sub(bytes: usize) {
+    let now = RESIDENT_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed) - bytes as u64;
+    WS_BYTES_RESIDENT.set(now as f64);
+}
+
+/// Marker returned by [`Workspace::checkpoint`]; see [`Workspace::reset_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    outstanding: usize,
+}
+
+/// Length-keyed free lists of `f32` scratch buffers. See the module docs
+/// for the reuse contract.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    outstanding: usize,
+    resident: usize,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Takes a buffer of exactly `len` elements, reusing a recycled one
+    /// when available. Contents are **unspecified** — overwrite before
+    /// reading, or use [`Workspace::take_zeroed`].
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.outstanding += 1;
+        if let Some(buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.resident -= 4 * len;
+            resident_sub(4 * len);
+            WS_REUSED.incr();
+            return buf;
+        }
+        WS_ALLOCATED.incr();
+        vec![0.0; len]
+    }
+
+    /// Like [`Workspace::take`] but guaranteed zero-filled.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let had_free = self.free.get(&len).is_some_and(|l| !l.is_empty());
+        let mut buf = self.take(len);
+        if had_free {
+            buf.fill(0.0);
+        }
+        buf
+    }
+
+    /// Returns a buffer to the free list for later reuse. Accepts buffers
+    /// of any length, including ones not taken from this workspace.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.resident += 4 * buf.len();
+        resident_add(4 * buf.len());
+        self.free.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Recycles the backing storage of a tensor built on a workspace buffer.
+    pub fn recycle_tensor(&mut self, t: Tensor) {
+        self.recycle(t.into_vec());
+    }
+
+    /// Records how many buffers are currently checked out, so a scope can
+    /// later assert (in debug builds) that it returned everything it took.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            outstanding: self.outstanding,
+        }
+    }
+
+    /// Validates that the take/recycle count is back to where `mark` was
+    /// captured. Leaks are a bookkeeping bug in the caller, not a runtime
+    /// condition, so this only `debug_assert`s; the counter is re-synced
+    /// either way so one leak does not poison later checkpoints.
+    pub fn reset_to(&mut self, mark: Checkpoint) {
+        debug_assert_eq!(
+            self.outstanding, mark.outstanding,
+            "workspace checkpoint mismatch: buffers taken and recycled are unbalanced"
+        );
+        self.outstanding = mark.outstanding;
+    }
+
+    /// Buffers currently checked out of this workspace.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Bytes parked in this workspace's free lists.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    /// Drops every parked buffer, returning the memory to the allocator.
+    pub fn clear(&mut self) {
+        resident_sub(self.resident);
+        self.resident = 0;
+        self.free.clear();
+    }
+}
+
+impl Drop for Workspace {
+    fn drop(&mut self) {
+        resident_sub(self.resident);
+    }
+}
+
+/// Process-wide pool of idle workspaces for code that runs inside worker
+/// tasks and cannot thread a caller-owned arena through (e.g. crossbar
+/// tile MVMs). Checks one out for the duration of `f` and parks it again
+/// afterwards, so parallel callers each get a private arena while the
+/// buffers still persist across calls.
+pub fn with_global<T>(f: impl FnOnce(&mut Workspace) -> T) -> T {
+    static POOL: Mutex<Vec<Workspace>> = Mutex::new(Vec::new());
+    let mut ws = POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop()
+        .unwrap_or_default();
+    let out = f(&mut ws);
+    POOL.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(ws);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_recycled_buffers_by_length() {
+        let mut ws = Workspace::new();
+        let a = ws.take(16);
+        let ptr = a.as_ptr();
+        ws.recycle(a);
+        // different length misses the free list
+        let b = ws.take(8);
+        assert_ne!(b.as_ptr(), ptr);
+        // same length pops the parked buffer back out
+        let c = ws.take(16);
+        assert_eq!(c.as_ptr(), ptr);
+        ws.recycle(b);
+        ws.recycle(c);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(4);
+        a.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        ws.recycle(a);
+        assert_eq!(ws.take_zeroed(4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn checkpoint_balances_take_and_recycle() {
+        let mut ws = Workspace::new();
+        let mark = ws.checkpoint();
+        let a = ws.take(4);
+        let b = ws.take(4);
+        assert_eq!(ws.outstanding(), 2);
+        ws.recycle(a);
+        ws.recycle(b);
+        ws.reset_to(mark);
+        assert_eq!(ws.outstanding(), 0);
+    }
+
+    #[test]
+    fn resident_bytes_track_free_lists() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.resident_bytes(), 0);
+        let a = ws.take(100);
+        assert_eq!(ws.resident_bytes(), 0);
+        ws.recycle(a);
+        assert_eq!(ws.resident_bytes(), 400);
+        let _ = ws.take(100);
+        assert_eq!(ws.resident_bytes(), 0);
+        ws.clear();
+        assert_eq!(ws.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn recycle_tensor_round_trips_storage() {
+        let mut ws = Workspace::new();
+        let buf = ws.take(6);
+        let ptr = buf.as_ptr();
+        let t = Tensor::from_vec(buf, &[2, 3]).unwrap();
+        ws.recycle_tensor(t);
+        let back = ws.take(6);
+        assert_eq!(back.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn global_pool_hands_out_persistent_workspaces() {
+        // a buffer recycled inside the checkout is parked in that arena
+        let bytes = with_global(|ws| {
+            let b = ws.take(4096);
+            ws.recycle(b);
+            ws.resident_bytes()
+        });
+        assert!(bytes >= 4 * 4096);
+    }
+}

@@ -8,6 +8,13 @@ cargo fmt --check
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --workspace --offline -- -D warnings
+# The planned execution engine's core contract: a steady-state PGD craft
+# performs zero heap allocations (counting global allocator).
+cargo test -q --offline --test workspace_alloc
 # Smoke: kernel bench on a 2-thread pool (tiny effort; output is JSON lines).
 AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
     cargo bench --offline -q -p ahw-bench --bench kernels -- matmul/32
+# Smoke: the attack-path workload on a 2-thread pool exercises the planned
+# engine (plan-cache checkout, workspace reuse, sharded evaluation).
+AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
+    cargo bench --offline -q -p ahw-bench --bench kernels -- attacks/pgd_eval

@@ -10,7 +10,7 @@ use ahw_sram::{HybridMemoryConfig, HybridWordConfig};
 use ahw_tensor::{pool, rng, Tensor};
 use std::sync::Mutex;
 
-const SEED: u64 = 0xD_E7E_2;
+const SEED: u64 = 0x000D_E7E2;
 
 /// Serializes tests that pin the process-global worker-count override.
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());

@@ -1,0 +1,93 @@
+//! Proves the planned attack path is allocation-free in the steady state.
+//!
+//! A counting global allocator wraps the system allocator; after two
+//! warm-up PGD crafts populate the plan cache's arena (and every layer's
+//! retained caches), a further craft of the same geometry must perform
+//! **zero** heap allocations. This pins the core contract of the planned
+//! execution engine — regressions that sneak a `Vec` allocation into a hot
+//! loop fail this test rather than just slowing a benchmark down.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+use ahw_attacks::{craft_ws, Attack};
+use ahw_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+use ahw_nn::{PlanCache, Sequential};
+use ahw_tensor::{pool, rng};
+
+#[test]
+fn steady_state_pgd_craft_allocates_nothing() {
+    // single-threaded so the whole craft runs inline on this thread (the
+    // worker pool's task hand-off machinery is outside this contract), and
+    // telemetry pinned off so no counter registration happens mid-measure
+    pool::set_thread_override(Some(1));
+    ahw_telemetry::set_enabled(false);
+
+    let mut r = rng::seeded(40);
+    let mut model = Sequential::new();
+    model.push(Conv2d::new(2, 4, 3, 1, 1, &mut r).unwrap());
+    model.push(ReLU::new());
+    model.push(MaxPool2d::new(2, 2));
+    model.push(Flatten::new());
+    model.push(Linear::new(4 * 4 * 4, 3, &mut r).unwrap());
+
+    let x = rng::uniform(&[4, 2, 8, 8], 0.0, 1.0, &mut r);
+    let labels = [0usize, 1, 2, 0];
+    let attack = Attack::pgd(0.1);
+    let mut cache = PlanCache::new();
+
+    // warm-up: populates the arena free lists, layer retained caches, the
+    // plan geometry table, and any lazily-initialized process state
+    for i in 0..2 {
+        let mut step_rng = rng::stream(0x5EED, i);
+        let adv = craft_ws(&mut model, &x, &labels, attack, &mut step_rng, &mut cache).unwrap();
+        cache.workspace().recycle_tensor(adv);
+    }
+    assert_eq!(cache.workspace().outstanding(), 0);
+
+    let before = alloc_count();
+    let mut step_rng = rng::stream(0x5EED, 2);
+    let adv = craft_ws(&mut model, &x, &labels, attack, &mut step_rng, &mut cache).unwrap();
+    cache.workspace().recycle_tensor(adv);
+    let after = alloc_count();
+
+    pool::set_thread_override(None);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state PGD craft performed {} heap allocations",
+        after - before
+    );
+}
