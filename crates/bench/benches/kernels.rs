@@ -5,6 +5,7 @@
 
 use ahw_attacks::{evaluate_attack_sharded, Attack};
 use ahw_bench::harness::{black_box, Harness};
+use ahw_core::selection::{select_noise_sites, SelectionConfig};
 use ahw_crossbar::{
     extract_effective_conductance, CrossbarConfig, NonIdealities, SolverKind, TiledMatrix,
 };
@@ -124,6 +125,24 @@ fn bench_pgd_eval(h: &mut Harness) {
     });
 }
 
+fn bench_fig4_probe(h: &mut Harness) {
+    // The Fig.-4 selection search end to end on a miniature spec: the
+    // per-site 6T sweep plus the combination search, dozens of FGSM
+    // evaluations per run. This is the workload the parallel/resumable
+    // search pipeline is judged on (Tables I/II at experiment scale).
+    let spec = ahw_nn::archs::vgg8(4, 0.0625, &mut rng::seeded(21)).unwrap();
+    let x = rng::uniform(&[24, 3, 32, 32], 0.0, 1.0, &mut rng::seeded(22));
+    let labels: Vec<usize> = (0..24).map(|i| i % 4).collect();
+    let config = SelectionConfig {
+        batch: 12,
+        search_subset: 16,
+        ..SelectionConfig::default()
+    };
+    h.bench("selection/fig4_probe", || {
+        black_box(select_noise_sites(black_box(&spec), black_box(&x), &labels, &config).unwrap());
+    });
+}
+
 fn main() {
     let mut h = Harness::from_env();
     bench_matmul(&mut h);
@@ -133,5 +152,6 @@ fn main() {
     bench_bit_error_injection(&mut h);
     bench_fgsm(&mut h);
     bench_pgd_eval(&mut h);
+    bench_fig4_probe(&mut h);
     h.finish();
 }
