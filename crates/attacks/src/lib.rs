@@ -43,5 +43,6 @@ pub use methods::{
 };
 pub use metrics::AttackOutcome;
 pub use modes::{
-    evaluate_attack, evaluate_attack_sharded, evaluate_mode, sweep_epsilons, AttackMode,
+    clear_plan_pool, evaluate_attack, evaluate_attack_sharded, evaluate_mode, parked_plan_count,
+    sweep_epsilons, AttackMode,
 };

@@ -11,21 +11,73 @@ use std::sync::Mutex;
 /// for its whole range of batches, so the arena's buffers survive across
 /// attack steps, batches, *and* successive evaluations (the ε sweep hits
 /// the steady state from its second point onwards).
+///
+/// Parking is bounded: at most [`MAX_PARKED_PLANS`] caches are retained,
+/// and a cache whose arena grew past [`MAX_PARKED_PLAN_BYTES`] is dropped
+/// instead of parked — an unbounded pool used to retain arenas sized for
+/// the *largest* model an experiment bin ever evaluated, pinning peak
+/// memory for the rest of a multi-model (zoo-sweep) run.
 static PLAN_POOL: Mutex<Vec<PlanCache>> = Mutex::new(Vec::new());
 
+/// Upper bound on parked plan caches; checkouts beyond this run with fresh
+/// arenas and are dropped on park. Large enough for every worker of a
+/// maximal pool to park between evaluations, small enough to bound idle
+/// memory.
+const MAX_PARKED_PLANS: usize = 32;
+
+/// Largest arena worth keeping warm (bytes resident in the workspace free
+/// lists). Oversized arenas — one VGG19-at-full-width evaluation can park
+/// hundreds of MiB — are dropped and rebuilt on demand instead.
+const MAX_PARKED_PLAN_BYTES: usize = 64 << 20;
+
+/// Currently parked plan caches (`attacks.plan_pool.parked`).
+static PLAN_POOL_PARKED: telemetry::LazyGauge =
+    telemetry::LazyGauge::new("attacks.plan_pool.parked");
+
 fn checkout_plan() -> PlanCache {
-    PLAN_POOL
+    let mut pool = PLAN_POOL
         .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .pop()
-        .unwrap_or_default()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let plan = pool.pop().unwrap_or_default();
+    PLAN_POOL_PARKED.set(pool.len() as f64);
+    plan
 }
 
-fn park_plan(plan: PlanCache) {
+/// Whether a returning plan cache should be parked for reuse (room in the
+/// pool, arena not oversized) or dropped.
+fn should_park(parked: usize, resident_bytes: usize) -> bool {
+    parked < MAX_PARKED_PLANS && resident_bytes <= MAX_PARKED_PLAN_BYTES
+}
+
+fn park_plan(mut plan: PlanCache) {
+    let resident = plan.workspace().resident_bytes();
+    let mut pool = PLAN_POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if should_park(pool.len(), resident) {
+        pool.push(plan);
+    }
+    PLAN_POOL_PARKED.set(pool.len() as f64);
+}
+
+/// Number of plan caches currently parked in the global pool.
+pub fn parked_plan_count() -> usize {
     PLAN_POOL
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .push(plan);
+        .len()
+}
+
+/// Drops every parked plan cache (and its arena memory). Experiment
+/// drivers call this between variants — switching models invalidates the
+/// parked arenas' buffer sizes, so holding them only retains the previous
+/// model's peak memory.
+pub fn clear_plan_pool() {
+    PLAN_POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+    PLAN_POOL_PARKED.set(0.0);
 }
 
 /// Examples attacked and evaluated (clean + adversarial pass pairs).
@@ -414,6 +466,41 @@ mod tests {
         for o in &outcomes[1..] {
             assert_eq!(*o, outcomes[0], "sharded result depends on worker count");
         }
+    }
+
+    #[test]
+    fn park_policy_caps_count_and_arena_size() {
+        assert!(should_park(0, 0));
+        assert!(should_park(MAX_PARKED_PLANS - 1, MAX_PARKED_PLAN_BYTES));
+        assert!(!should_park(MAX_PARKED_PLANS, 0), "count cap ignored");
+        assert!(
+            !should_park(0, MAX_PARKED_PLAN_BYTES + 1),
+            "oversized arena parked"
+        );
+    }
+
+    // Other tests in this binary evaluate attacks concurrently (parking and
+    // checking out plans), so the global-pool assertions here are the
+    // race-tolerant invariants: the cap is never exceeded and clearing
+    // removes everything this thread parked.
+    #[test]
+    fn plan_pool_never_exceeds_cap_and_clears() {
+        for _ in 0..(MAX_PARKED_PLANS + 10) {
+            park_plan(PlanCache::new());
+        }
+        assert!(parked_plan_count() <= MAX_PARKED_PLANS);
+        // an oversized arena is dropped on park, not retained
+        let mut huge = PlanCache::new();
+        let buf = huge.workspace().take(MAX_PARKED_PLAN_BYTES / 4 + 1);
+        huge.workspace().recycle(buf);
+        let before = parked_plan_count();
+        park_plan(huge);
+        assert!(
+            parked_plan_count() <= before.max(MAX_PARKED_PLANS),
+            "oversized arena was parked"
+        );
+        clear_plan_pool();
+        assert!(parked_plan_count() <= MAX_PARKED_PLANS);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub fn load_trained(
     num_classes: usize,
     scale: &Scale,
 ) -> Result<(TrainedModel, Tensor, Vec<usize>), NnError> {
+    // switching experiment variants invalidates the parked attack-plan
+    // arenas (they are sized for the previous model); drop them so a
+    // multi-model bin doesn't retain its peak memory forever
+    ahw_attacks::clear_plan_pool();
     let zoo_cfg = scale.zoo(arch, num_classes);
     let trained = train_or_load(&cache_dir(), &zoo_cfg)?;
     eprintln!(

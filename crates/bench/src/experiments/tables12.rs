@@ -70,6 +70,12 @@ pub fn hybrid_config_table(
                 attack: Attack::fgsm(probe_eps),
                 improvement_threshold: threshold,
                 batch: scale.batch,
+                // write-ahead search journal: a killed table run resumes
+                // from completed candidates instead of restarting the sweep
+                journal: Some(std::path::PathBuf::from(format!(
+                    "results/search/{plan_key}_thr{}.jsonl",
+                    (threshold * 100.0).round() as u32
+                ))),
                 ..SelectionConfig::default()
             };
             let outcome = select_noise_sites(spec, &images, &labels, &config)?;

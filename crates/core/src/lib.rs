@@ -11,6 +11,8 @@
 //! * [`hardware`] — constructing the *hardware* variant of a trained
 //!   software model: either a noise plan installed as activation hooks
 //!   (hybrid SRAM) or a crossbar-mapped rewrite (`ahw-crossbar`);
+//! * [`journal`] — the write-ahead search journal that makes an
+//!   interrupted Fig. 4 run resume from completed candidates;
 //! * [`zoo`] — a train-or-load cache of the paper's trained networks so
 //!   every experiment binary shares identical checkpoints.
 //!
@@ -38,5 +40,6 @@
 //! ```
 
 pub mod hardware;
+pub mod journal;
 pub mod selection;
 pub mod zoo;

@@ -11,13 +11,47 @@
 //!    a threshold (5 % in the paper);
 //! 3. evaluates combinations of shortlisted sites and returns the best one
 //!    as a [`NoisePlan`] — the row printed in Tables I and II.
+//!
+//! ## Execution model
+//!
+//! The `(site, 6T-count)` candidates of step 1 and the subset candidates of
+//! step 3's exhaustive phase are mutually independent, so they are evaluated
+//! concurrently on the [`ahw_tensor::pool`] worker pool
+//! ([`pool::parallel_map`]); each candidate's attack evaluation checks a
+//! `PlanCache` arena out of the `ahw-attacks` plan pool for its batches.
+//! Results come back **in candidate order** and every argmax folds that
+//! fixed order with a strict `>` comparison, so the selected plan and all
+//! reported accuracies are bit-identical at any `AHW_THREADS` value. The
+//! greedy fallback of step 3 is sequential by construction (each acceptance
+//! changes the next trial), but its candidate evaluations still parallelize
+//! internally across attack batches.
+//!
+//! ## Resumability
+//!
+//! With [`SelectionConfig::journal`] set, every completed candidate is
+//! appended to a write-ahead JSON journal ([`crate::journal`]); an
+//! interrupted Table I/II run replays completed candidates on restart
+//! instead of re-attacking them, and the bit-exact journal payload makes
+//! the resumed outcome identical to an uninterrupted run. Progress is
+//! reported through a tty-aware status line ([`telemetry::Progress`]) and
+//! the `core.search.*` telemetry counters/spans.
 
 use crate::hardware::{apply_noise_plan, NoisePlan, PlannedSite};
+use crate::journal::SearchJournal;
 use ahw_attacks::{evaluate_attack, Attack, AttackOutcome};
 use ahw_nn::archs::ModelSpec;
 use ahw_nn::NnError;
 use ahw_sram::{HybridMemoryConfig, HybridWordConfig, SramError, WORD_BITS};
-use ahw_tensor::Tensor;
+use ahw_telemetry as telemetry;
+use ahw_tensor::{pool, Tensor};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Candidate evaluations completed this process (journal replays excluded).
+static CANDIDATES_DONE: telemetry::LazyCounter =
+    telemetry::LazyCounter::new("core.search.candidates_done");
+/// Candidate evaluations replayed from a previous run's journal.
+static RESUMED: telemetry::LazyCounter = telemetry::LazyCounter::new("core.search.resumed");
 
 /// Parameters of the Fig. 4 search.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +75,10 @@ pub struct SelectionConfig {
     pub search_subset: usize,
     /// Seed for the injected-noise streams.
     pub seed: u64,
+    /// Write-ahead journal path (e.g. `results/table1_search.jsonl`). When
+    /// set, completed candidates are recorded as they finish and an
+    /// interrupted search resumes from them; `None` disables persistence.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for SelectionConfig {
@@ -53,6 +91,7 @@ impl Default for SelectionConfig {
             batch: 64,
             search_subset: 64,
             seed: 0x5E1EC7,
+            journal: None,
         }
     }
 }
@@ -93,27 +132,114 @@ fn to_nn_err(e: SramError) -> NnError {
     NnError::BadConfig(format!("hybrid memory config: {e}"))
 }
 
-/// Runs the Fig. 4 methodology.
+/// Identity of one search under the journal: any field that changes a
+/// candidate's outcome must appear here, so a stale journal can never be
+/// replayed into a different search.
+fn search_fingerprint(
+    spec: &ModelSpec,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SelectionConfig,
+) -> String {
+    // cheap order-sensitive label digest (FNV-1a)
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in labels {
+        digest ^= l as u64;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for &v in images.as_slice().iter().take(256) {
+        digest ^= u64::from(v.to_bits());
+        digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!(
+        "v1 arch={} classes={} sites={} n={} data={:016x} vdd={} attack={:?} thr={} maxex={} batch={} subset={} seed={:x}",
+        spec.name,
+        spec.num_classes,
+        spec.sites.len(),
+        images.dims()[0],
+        digest,
+        config.vdd,
+        config.attack,
+        config.improvement_threshold,
+        config.max_exhaustive_sites,
+        config.batch,
+        config.search_subset,
+        config.seed,
+    )
+}
+
+/// Canonical journal key for a combination of sites (sorted, in plan form).
+fn combo_key(site_indices: &[usize]) -> String {
+    let mut sorted = site_indices.to_vec();
+    sorted.sort_unstable();
+    let joined = sorted
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("combo sites={joined}")
+}
+
+/// Looks `key` up in the journal, evaluating (and recording) on a miss.
+/// Replays bump `core.search.resumed`; fresh evaluations bump
+/// `core.search.candidates_done`.
+fn cached_eval(
+    journal: &SearchJournal,
+    key: &str,
+    eval: impl FnOnce() -> Result<AttackOutcome, NnError>,
+) -> Result<AttackOutcome, NnError> {
+    if let Some(outcome) = journal.lookup(key) {
+        RESUMED.incr();
+        return Ok(outcome);
+    }
+    let outcome = eval()?;
+    journal.record(key, outcome)?;
+    CANDIDATES_DONE.incr();
+    Ok(outcome)
+}
+
+/// Runs the Fig. 4 methodology. See the module docs for the execution
+/// model (pool-parallel candidates, deterministic reductions) and the
+/// journal-backed resume semantics.
 ///
 /// # Errors
 ///
 /// Propagates model/attack errors; [`NnError::BadConfig`] for an invalid
-/// voltage.
+/// voltage, a model without activation-memory sites, or a journal I/O
+/// failure.
 pub fn select_noise_sites(
     spec: &ModelSpec,
     images: &Tensor,
     labels: &[usize],
     config: &SelectionConfig,
 ) -> Result<SelectionOutcome, NnError> {
+    if spec.sites.is_empty() {
+        return Err(NnError::BadConfig(format!(
+            "model '{}' has no activation-memory sites to search",
+            spec.name
+        )));
+    }
+    let _span = telemetry::span_labeled("core.search", || {
+        format!("sites={} n={}", spec.sites.len(), images.dims()[0])
+    });
+    let journal = match &config.journal {
+        Some(path) => SearchJournal::open(path, &search_fingerprint(spec, images, labels, config))?,
+        None => SearchJournal::in_memory(),
+    };
+    let progress = telemetry::Progress::stderr();
+
     // noise-free baseline: attack the software model directly
-    let baseline = evaluate_attack(
-        &spec.model,
-        &spec.model,
-        images,
-        labels,
-        config.attack,
-        config.batch,
-    )?;
+    let baseline = cached_eval(&journal, "baseline full", || {
+        let _span = telemetry::span("core.search.baseline");
+        evaluate_attack(
+            &spec.model,
+            &spec.model,
+            images,
+            labels,
+            config.attack,
+            config.batch,
+        )
+    })?;
 
     // probe subset for the sweep (ranking only)
     let n = images.dims()[0];
@@ -132,50 +258,91 @@ pub fn select_noise_sites(
     let probe_baseline = if probe_n == n {
         baseline
     } else {
-        evaluate_attack(
-            &spec.model,
-            &spec.model,
-            &probe_images,
-            probe_labels,
-            config.attack,
-            config.batch,
-        )?
-    };
-
-    // step 1: per-site sweep over 6T cell counts at fixed Vdd
-    let mut per_site = Vec::with_capacity(spec.sites.len());
-    for (site_index, site) in spec.sites.iter().enumerate() {
-        eprint!(
-            "  fig4 search: site {:>2}/{} ({})\r",
-            site_index + 1,
-            spec.sites.len(),
-            site.label
-        );
-        let mut best: Option<(HybridMemoryConfig, f32)> = None;
-        for six_t in 1..=WORD_BITS {
-            let mem = memory_config(six_t, config.vdd).map_err(to_nn_err)?;
-            let plan = NoisePlan {
-                vdd: config.vdd,
-                sites: vec![PlannedSite {
-                    site_index,
-                    config: mem,
-                }],
-            };
-            let hardware = apply_noise_plan(spec, &plan, config.seed)?;
-            // gradients from the clean model, evaluation on the noisy one
-            let outcome = evaluate_attack(
+        cached_eval(&journal, "baseline probe", || {
+            let _span = telemetry::span("core.search.baseline");
+            evaluate_attack(
                 &spec.model,
-                &hardware,
+                &spec.model,
                 &probe_images,
                 probe_labels,
                 config.attack,
                 config.batch,
+            )
+        })?
+    };
+
+    // step 1: per-site sweep over 6T cell counts at fixed Vdd — all
+    // (site, six_t) candidates are independent, so they run concurrently on
+    // the worker pool; `parallel_map` returns outcomes in candidate order
+    // and the per-site argmax below folds that fixed order.
+    let candidates: Vec<(usize, u8)> = (0..spec.sites.len())
+        .flat_map(|site_index| (1..=WORD_BITS).map(move |six_t| (site_index, six_t)))
+        .collect();
+    let sweep_done = AtomicUsize::new(0);
+    let sweep_outcomes: Vec<Result<(HybridMemoryConfig, AttackOutcome), NnError>> = {
+        let _span = telemetry::span_labeled("core.search.sweep", || {
+            format!("candidates={}", candidates.len())
+        });
+        pool::parallel_map(candidates.len(), 1, |ci| {
+            let (site_index, six_t) = candidates[ci];
+            let _span = telemetry::span_labeled("core.search.candidate", || {
+                format!("site={site_index} six_t={six_t}")
+            });
+            let mem = memory_config(six_t, config.vdd).map_err(to_nn_err)?;
+            let outcome = cached_eval(
+                &journal,
+                &format!("sweep site={site_index} six_t={six_t}"),
+                || {
+                    let plan = NoisePlan {
+                        vdd: config.vdd,
+                        sites: vec![PlannedSite {
+                            site_index,
+                            config: mem,
+                        }],
+                    };
+                    let hardware = apply_noise_plan(spec, &plan, config.seed)?;
+                    // gradients from the clean model, evaluation on the noisy one
+                    evaluate_attack(
+                        &spec.model,
+                        &hardware,
+                        &probe_images,
+                        probe_labels,
+                        config.attack,
+                        config.batch,
+                    )
+                },
             )?;
+            let done = sweep_done.fetch_add(1, Ordering::Relaxed) + 1;
+            progress.update(&format!(
+                "  fig4 search: sweep {done}/{} candidates ({})",
+                candidates.len(),
+                spec.sites[site_index].label
+            ));
+            Ok((mem, outcome))
+        })
+    };
+    progress.finish();
+    // first error in candidate order — deterministic regardless of which
+    // worker hit it first
+    let sweep_outcomes: Vec<(HybridMemoryConfig, AttackOutcome)> =
+        sweep_outcomes.into_iter().collect::<Result<_, _>>()?;
+
+    let mut per_site = Vec::with_capacity(spec.sites.len());
+    for (site_index, site) in spec.sites.iter().enumerate() {
+        // fixed-order argmax over this site's 6T counts (strict `>`: the
+        // lowest winning 6T count is kept, matching the serial search)
+        let mut best: Option<(HybridMemoryConfig, f32)> = None;
+        for (cand, (mem, outcome)) in candidates.iter().zip(&sweep_outcomes) {
+            if cand.0 != site_index {
+                continue;
+            }
             if best.is_none_or(|(_, acc)| outcome.adversarial_accuracy > acc) {
-                best = Some((mem, outcome.adversarial_accuracy));
+                best = Some((*mem, outcome.adversarial_accuracy));
             }
         }
-        let (best_config, best_acc) = best.expect("at least one 6T count swept");
+        let (best_config, best_acc) = best.ok_or_else(|| {
+            NnError::BadConfig(format!("no 6T count swept for site {site_index}"))
+        })?;
         per_site.push(SiteResult {
             site_index,
             label: site.label.clone(),
@@ -191,67 +358,106 @@ pub fn select_noise_sites(
 
     // step 3: combination search
     let evaluate_combo = |combo: &[&SiteResult]| -> Result<AttackOutcome, NnError> {
-        let plan = NoisePlan {
-            vdd: config.vdd,
-            sites: combo
-                .iter()
-                .map(|s| PlannedSite {
-                    site_index: s.site_index,
-                    config: s.config,
-                })
-                .collect(),
-        };
-        let hardware = apply_noise_plan(spec, &plan, config.seed)?;
-        evaluate_attack(
-            &spec.model,
-            &hardware,
-            &probe_images,
-            probe_labels,
-            config.attack,
-            config.batch,
-        )
+        let indices: Vec<usize> = combo.iter().map(|s| s.site_index).collect();
+        let key = combo_key(&indices);
+        let _span = telemetry::span_labeled("core.search.candidate", || key.clone());
+        cached_eval(&journal, &key, || {
+            let plan = NoisePlan {
+                vdd: config.vdd,
+                sites: combo
+                    .iter()
+                    .map(|s| PlannedSite {
+                        site_index: s.site_index,
+                        config: s.config,
+                    })
+                    .collect(),
+            };
+            let hardware = apply_noise_plan(spec, &plan, config.seed)?;
+            evaluate_attack(
+                &spec.model,
+                &hardware,
+                &probe_images,
+                probe_labels,
+                config.attack,
+                config.batch,
+            )
+        })
     };
 
     let (chosen, probe_combined) = if shortlisted.is_empty() {
         (Vec::new(), probe_baseline)
     } else if shortlisted.len() <= config.max_exhaustive_sites {
-        // exhaustive over non-empty subsets
-        let mut best: Option<(Vec<&SiteResult>, AttackOutcome)> = None;
-        for mask in 1u32..(1 << shortlisted.len()) {
-            let combo: Vec<&SiteResult> = shortlisted
-                .iter()
-                .enumerate()
-                .filter(|(k, _)| mask & (1 << k) != 0)
-                .map(|(_, s)| *s)
-                .collect();
-            let outcome = evaluate_combo(&combo)?;
+        // exhaustive over non-empty subsets: independent candidates, run
+        // concurrently; the argmax folds mask order (strict `>`, so the
+        // smallest winning mask is kept — identical to the serial scan)
+        let _span = telemetry::span_labeled("core.search.combine", || {
+            format!("exhaustive shortlist={}", shortlisted.len())
+        });
+        let masks: Vec<u32> = (1u32..(1 << shortlisted.len())).collect();
+        let combos: Vec<Vec<&SiteResult>> = masks
+            .iter()
+            .map(|mask| {
+                shortlisted
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| mask & (1 << k) != 0)
+                    .map(|(_, s)| *s)
+                    .collect()
+            })
+            .collect();
+        let combine_done = AtomicUsize::new(0);
+        let outcomes: Vec<Result<AttackOutcome, NnError>> =
+            pool::parallel_map(combos.len(), 1, |i| {
+                let outcome = evaluate_combo(&combos[i])?;
+                let done = combine_done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress.update(&format!(
+                    "  fig4 search: combinations {done}/{}",
+                    combos.len()
+                ));
+                Ok(outcome)
+            });
+        progress.finish();
+        let mut best: Option<(usize, AttackOutcome)> = None;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let outcome = outcome?;
             if best
                 .as_ref()
                 .is_none_or(|(_, b)| outcome.adversarial_accuracy > b.adversarial_accuracy)
             {
-                best = Some((combo, outcome));
+                best = Some((i, outcome));
             }
         }
-        best.expect("at least one subset evaluated")
+        let (best_idx, best_outcome) = best.ok_or_else(|| {
+            NnError::BadConfig("no site combination evaluated in exhaustive search".into())
+        })?;
+        (combos[best_idx].clone(), best_outcome)
     } else {
-        // greedy forward selection, best-gain-first
+        // greedy forward selection, best-gain-first: sequential by
+        // construction (each acceptance changes the next trial), but every
+        // trial's attack evaluation still parallelizes over batches
+        let _span = telemetry::span_labeled("core.search.combine", || {
+            format!("greedy shortlist={}", shortlisted.len())
+        });
         let mut remaining = shortlisted.clone();
         remaining.sort_by(|a, b| {
             b.adversarial_accuracy
                 .partial_cmp(&a.adversarial_accuracy)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        let total = remaining.len();
         let mut combo: Vec<&SiteResult> = Vec::new();
         let mut best_outcome = probe_baseline;
-        for candidate in remaining {
+        for (done, candidate) in remaining.into_iter().enumerate() {
             let mut trial = combo.clone();
             trial.push(candidate);
             let outcome = evaluate_combo(&trial)?;
+            progress.update(&format!("  fig4 search: greedy {}/{total}", done + 1));
             if outcome.adversarial_accuracy > best_outcome.adversarial_accuracy {
                 combo = trial;
                 best_outcome = outcome;
             }
         }
+        progress.finish();
         if combo.is_empty() {
             // even singletons regressed in combination-eval; fall back to
             // the single best shortlisted site
@@ -262,7 +468,7 @@ pub fn select_noise_sites(
                         .partial_cmp(&b.adversarial_accuracy)
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
-                .expect("shortlist non-empty");
+                .ok_or_else(|| NnError::BadConfig("empty shortlist in greedy fallback".into()))?;
             let outcome = evaluate_combo(&[top])?;
             (vec![top], outcome)
         } else {
@@ -280,22 +486,25 @@ pub fn select_noise_sites(
             })
             .collect(),
     };
-    eprintln!();
     // the reported combined outcome is measured on the *full* set
     let combined = if plan.sites.is_empty() {
         baseline
     } else if probe_n == n {
         probe_combined
     } else {
-        let hardware = apply_noise_plan(spec, &plan, config.seed)?;
-        evaluate_attack(
-            &spec.model,
-            &hardware,
-            images,
-            labels,
-            config.attack,
-            config.batch,
-        )?
+        let indices: Vec<usize> = plan.sites.iter().map(|s| s.site_index).collect();
+        cached_eval(&journal, &format!("final {}", combo_key(&indices)), || {
+            let _span = telemetry::span("core.search.final");
+            let hardware = apply_noise_plan(spec, &plan, config.seed)?;
+            evaluate_attack(
+                &spec.model,
+                &hardware,
+                images,
+                labels,
+                config.attack,
+                config.batch,
+            )
+        })?
     };
     Ok(SelectionOutcome {
         baseline,
@@ -362,5 +571,23 @@ mod tests {
         assert_eq!(row.len(), spec.sites.len());
         let noisy = row.iter().filter(|c| *c != "H").count();
         assert_eq!(noisy, out.plan.sites.len());
+    }
+
+    #[test]
+    fn zero_site_spec_is_bad_config_not_a_panic() {
+        let (mut spec, x, y) = tiny_setup();
+        spec.sites.clear();
+        // library code must propagate the edge case, never abort
+        match select_noise_sites(&spec, &x, &y, &fast_config()) {
+            Err(NnError::BadConfig(msg)) => assert!(msg.contains("no activation-memory sites")),
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn combo_key_is_order_independent() {
+        assert_eq!(combo_key(&[4, 1, 9]), combo_key(&[9, 4, 1]));
+        assert_eq!(combo_key(&[2]), "combo sites=2");
+        assert_eq!(combo_key(&[]), "combo sites=");
     }
 }

@@ -63,6 +63,7 @@
 
 pub mod export;
 pub mod metrics;
+pub mod progress;
 pub mod span;
 
 pub use export::{finish, render_summary, snapshot_json, trace_json, write_trace};
@@ -70,6 +71,7 @@ pub use metrics::{
     counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter,
     LazyGauge, LazyHistogram, MetricsSnapshot,
 };
+pub use progress::Progress;
 pub use span::{drain_spans, span, span_labeled, thread_id, SpanEvent, SpanGuard};
 
 use std::sync::atomic::{AtomicU8, Ordering};

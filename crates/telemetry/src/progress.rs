@@ -1,0 +1,148 @@
+//! Tty-aware progress reporting.
+//!
+//! Long-running searches used to issue raw `eprint!("...\r")` rewrites,
+//! which garble piped or teed logs (`run_experiments.sh | tee run.log`
+//! captures one kilometer-long line of carriage returns). [`Progress`]
+//! resolves the destination once: when stderr is a terminal, updates rewrite
+//! one status line in place; otherwise every update is an ordinary newline
+//! record, so logs stay greppable.
+//!
+//! The reporter is internally synchronized — worker threads finishing
+//! parallel candidates may call [`Progress::update`] concurrently — and is
+//! an observer only: it never gates or reorders the computation it reports.
+
+use std::io::{IsTerminal, Write};
+use std::sync::Mutex;
+
+/// A single status line on stderr (or a stream of log records when stderr
+/// is not a terminal). Call [`update`](Progress::update) as work completes
+/// and [`finish`](Progress::finish) (or drop) to terminate the line.
+#[derive(Debug)]
+pub struct Progress {
+    tty: bool,
+    state: Mutex<ProgressState>,
+}
+
+#[derive(Debug, Default)]
+struct ProgressState {
+    /// Width of the last in-place rewrite, so shorter messages blank the
+    /// tail of longer ones.
+    last_len: usize,
+    /// Whether an unterminated in-place line is on screen.
+    dirty: bool,
+}
+
+impl Progress {
+    /// A reporter writing to stderr, resolving tty-ness now.
+    pub fn stderr() -> Self {
+        Progress {
+            tty: std::io::stderr().is_terminal(),
+            state: Mutex::new(ProgressState::default()),
+        }
+    }
+
+    /// A reporter with the destination mode pinned (tests).
+    pub fn with_tty(tty: bool) -> Self {
+        Progress {
+            tty,
+            state: Mutex::new(ProgressState::default()),
+        }
+    }
+
+    /// Whether updates rewrite in place (stderr is a terminal).
+    pub fn is_tty(&self) -> bool {
+        self.tty
+    }
+
+    /// Reports `msg`: an in-place rewrite on a terminal, a newline record
+    /// otherwise.
+    pub fn update(&self, msg: &str) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut err = std::io::stderr().lock();
+        if self.tty {
+            let pad = state.last_len.saturating_sub(msg.chars().count());
+            let _ = write!(err, "\r{msg}{}", " ".repeat(pad));
+            let _ = err.flush();
+            state.last_len = msg.chars().count();
+            state.dirty = true;
+        } else {
+            let _ = writeln!(err, "{msg}");
+        }
+    }
+
+    /// Terminates an in-place line with a newline (no-op when nothing is on
+    /// screen or stderr is not a terminal).
+    pub fn finish(&self) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.tty && state.dirty {
+            let _ = writeln!(std::io::stderr().lock());
+            state.dirty = false;
+            state.last_len = 0;
+        }
+    }
+}
+
+impl Drop for Progress {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_tty_mode_emits_records_without_state() {
+        let p = Progress::with_tty(false);
+        assert!(!p.is_tty());
+        p.update("step 1");
+        p.update("step 2");
+        // nothing dirty: finish must be a no-op
+        assert!(!p.state.lock().unwrap().dirty);
+        p.finish();
+    }
+
+    #[test]
+    fn tty_mode_tracks_line_width_and_finishes_once() {
+        let p = Progress::with_tty(true);
+        p.update("a long progress message");
+        assert!(p.state.lock().unwrap().dirty);
+        p.update("short");
+        assert_eq!(p.state.lock().unwrap().last_len, "short".chars().count());
+        p.finish();
+        assert!(!p.state.lock().unwrap().dirty);
+        assert_eq!(p.state.lock().unwrap().last_len, 0);
+    }
+
+    #[test]
+    fn stderr_constructor_resolves_some_mode() {
+        // under `cargo test` stderr is usually captured (not a tty), but
+        // either way construction and an update must not panic
+        let p = Progress::stderr();
+        p.update("probe");
+        p.finish();
+    }
+
+    #[test]
+    fn updates_are_callable_from_many_threads() {
+        let p = Progress::with_tty(true);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    for i in 0..8 {
+                        p.update(&format!("worker {t} step {i}"));
+                    }
+                });
+            }
+        });
+        p.finish();
+    }
+}

@@ -395,6 +395,46 @@ struct SendPtr(*mut f32);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
+/// Parallel map over `0..n`: computes `f(i)` for every index on the pool
+/// and returns the results **in index order**, so downstream reductions
+/// (argmax scans, first-error propagation) are independent of which thread
+/// ran which index. This is the coarse-grained counterpart of
+/// [`parallel_for_ranges`] for tasks that produce a value per index — e.g.
+/// one attack evaluation per search candidate.
+///
+/// `min_chunk` has [`parallel_for_ranges`] semantics; pass 1 when each call
+/// is heavyweight. At one thread (or inside a pool task) the map runs
+/// serially in index order on the caller.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    /// Typed sibling of [`SendPtr`]: each slot is written by exactly one
+    /// task, and the caller joins every task before reading.
+    struct SlotPtr<T>(*mut Option<T>);
+    unsafe impl<T: Send> Send for SlotPtr<T> {}
+    unsafe impl<T: Send> Sync for SlotPtr<T> {}
+    let base = SlotPtr(out.as_mut_ptr());
+    let base = &base;
+    parallel_for_ranges(n, min_chunk, |r: Range<usize>| {
+        for i in r {
+            let v = f(i);
+            // SAFETY: ranges from `parallel_for_ranges` are disjoint and
+            // within `0..n`, so slot `i` is written by exactly one task.
+            unsafe { *base.0.add(i) = Some(v) };
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("parallel_map covers every index"))
+        .collect()
+}
+
 /// Fixed boundary (in elements) for deterministic chunked `f32` reductions:
 /// partial sums are formed per 4096-element chunk and folded in chunk
 /// order, so the result depends only on the data — never on the thread
@@ -538,6 +578,36 @@ mod tests {
             sums.iter().all(|&s| s == sums[0]),
             "chunked reduction depends on thread count"
         );
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for &threads in &[1usize, 2, 4, 7] {
+            set_thread_override(Some(threads));
+            let out = parallel_map(97, 1, |i| i * i);
+            set_thread_override(None);
+            assert_eq!(out.len(), 97);
+            assert!(
+                out.iter().enumerate().all(|(i, &v)| v == i * i),
+                "slot order broken at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_panic() {
+        assert!(parallel_map(0, 1, |i| i).is_empty());
+        set_thread_override(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(64, 1, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        set_thread_override(None);
+        assert!(result.is_err(), "map task panic was swallowed");
     }
 
     #[test]

@@ -51,3 +51,18 @@ cargo bench --offline -q -p ahw-bench --bench kernels -- attacks/pgd_eval \
     | sed "s/^{/{\"rev\":\"$rev\",\"threads\":$threads,\"telemetry\":\"on\",/" \
     | tee -a "$out"
 unset AHW_METRICS
+
+# Selection-search workload: one miniature Fig. 4 search (candidate sweep +
+# combination phase), at 1 worker and at 4 so the candidate-level parallelism
+# of the search pipeline shows up as its own rows. Metrics stay on — the
+# snapshot line carries core.search.candidates_done / core.search.resumed
+# next to the timing.
+export AHW_METRICS=1
+for t in 1 4; do
+    echo "bench: selection/fig4_probe threads=$t -> $out" >&2
+    AHW_THREADS=$t cargo bench --offline -q -p ahw-bench --bench kernels -- selection/fig4_probe \
+        | grep '^{' \
+        | sed "s/^{/{\"rev\":\"$rev\",\"threads\":$t,\"telemetry\":\"on\",/" \
+        | tee -a "$out"
+done
+unset AHW_METRICS

@@ -18,3 +18,8 @@ AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
 # engine (plan-cache checkout, workspace reuse, sharded evaluation).
 AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
     cargo bench --offline -q -p ahw-bench --bench kernels -- attacks/pgd_eval
+# Smoke: the Fig. 4 selection search on a 2-thread pool exercises the
+# pool-parallel candidate sweep end to end (per-candidate plan checkout,
+# deterministic argmax, journal-less memoization).
+AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
+    cargo bench --offline -q -p ahw-bench --bench kernels -- selection/fig4_probe
