@@ -79,6 +79,13 @@ fn bench_bit_error_injection(h: &mut Harness) {
     h.bench("sram/bit_error_injection_16k", || {
         black_box(inj.corrupt(black_box(&x)));
     });
+    // Activation-sized workload: one hooked conv output in the Fig. 4-8
+    // pipelines (batch 8, 32 channels, 32x32 feature map). This is the
+    // store->flip->load round trip the sparse-event injector is judged on.
+    let act = rng::uniform(&[8, 32, 32, 32], 0.0, 1.0, &mut rng::seeded(11));
+    h.bench("sram/inject_8x32x32x32", || {
+        black_box(inj.corrupt(black_box(&act)));
+    });
 }
 
 fn bench_fgsm(h: &mut Harness) {
