@@ -4,6 +4,7 @@ use ahw_crossbar::{map_model, CrossbarConfig, MappingReport};
 use ahw_nn::archs::ModelSpec;
 use ahw_nn::{NnError, Sequential};
 use ahw_sram::{BitErrorInjector, BitErrorModel, HybridMemoryConfig};
+use ahw_tensor::workspace;
 use std::sync::Arc;
 
 /// One site of a noise plan: which activation memory gets which hybrid
@@ -143,10 +144,20 @@ pub fn apply_weight_noise_plan(
             seed ^ (planned.site_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let target_prefix = format!("layers.{target}.");
-        hardware.visit_state(&mut |name, tensor| {
-            if name.starts_with(&target_prefix) && name.ends_with(".weight") && tensor.rank() == 2 {
-                *tensor = injector.corrupt(tensor);
-            }
+        // route the round trip through a checked-out global workspace so the
+        // code/output scratch is shared across sites (the persistent weight
+        // is a fresh clone; the scratch goes back to the arena)
+        workspace::with_global(|ws| {
+            hardware.visit_state(&mut |name, tensor| {
+                if name.starts_with(&target_prefix)
+                    && name.ends_with(".weight")
+                    && tensor.rank() == 2
+                {
+                    let noisy = injector.corrupt_into(tensor, ws);
+                    *tensor = noisy.clone();
+                    ws.recycle_tensor(noisy);
+                }
+            });
         });
     }
     Ok(hardware)

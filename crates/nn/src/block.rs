@@ -1,4 +1,4 @@
-use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::layer::{apply_hook, apply_hook_ws, ActivationHook, HookSlot, Layer, Mode};
 use crate::layers::{BatchNorm2d, Conv2d, ReLU};
 use crate::{NnError, Param};
 use ahw_tensor::rng::Rng;
@@ -146,7 +146,7 @@ impl Layer for BasicBlock {
         ws.recycle_tensor(h);
         let h3 = self.relu1.forward_ws(&h2, mode, ws)?;
         ws.recycle_tensor(h2);
-        let h3 = apply_hook(&self.hook_conv1, h3);
+        let h3 = apply_hook_ws(&self.hook_conv1, h3, ws);
         let a1 = self.conv2.forward_ws(&h3, mode, ws)?;
         ws.recycle_tensor(h3);
         let a = self.bn2.forward_ws(&a1, mode, ws)?;
@@ -164,7 +164,7 @@ impl Layer for BasicBlock {
                 Tensor::from_vec(b, x.dims())?
             }
         };
-        let s = apply_hook(&self.hook_shortcut, s);
+        let s = apply_hook_ws(&self.hook_shortcut, s, ws);
         // in-place `a += 1.0·s` matches `a.add(&s)` bit-for-bit
         let mut pre = a;
         pre.add_scaled(&s, 1.0)?;
@@ -178,7 +178,7 @@ impl Layer for BasicBlock {
         }
         let y = Tensor::from_vec(y, pre.dims())?;
         ws.recycle_tensor(pre);
-        Ok(apply_hook(&self.hook_out, y))
+        Ok(apply_hook_ws(&self.hook_out, y, ws))
     }
 
     fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {

@@ -26,6 +26,20 @@ pub enum Mode {
 pub trait ActivationHook: Send + Sync {
     /// Transforms an activation tensor.
     fn apply(&self, x: &Tensor) -> Tensor;
+
+    /// Workspace-aware variant of [`apply`](ActivationHook::apply): scratch
+    /// and output buffers may be checked out of `ws` (the returned tensor's
+    /// storage is then a `ws` buffer the caller recycles downstream), so a
+    /// hooked shape-stable loop stays allocation-free in steady state.
+    ///
+    /// Must be bit-identical to `apply`. The default delegates to `apply`,
+    /// so existing hook impls keep compiling — they simply don't reuse
+    /// memory.
+    fn apply_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let _ = ws;
+        self.apply(x)
+    }
+
     /// Human-readable description for experiment logs.
     fn describe(&self) -> String {
         "hook".to_string()
@@ -160,6 +174,25 @@ impl Clone for Box<dyn Layer> {
 pub(crate) fn apply_hook(hook: &Option<Arc<dyn ActivationHook>>, x: Tensor) -> Tensor {
     match hook {
         Some(h) => h.apply(&x),
+        None => x,
+    }
+}
+
+/// Workspace-aware sibling of [`apply_hook`] for `forward_ws` paths: the
+/// hook draws its output from `ws` and the pre-hook tensor (itself a `ws`
+/// buffer on those paths) is recycled, so a hooked planned forward keeps
+/// the zero-alloc steady state.
+pub(crate) fn apply_hook_ws(
+    hook: &Option<Arc<dyn ActivationHook>>,
+    x: Tensor,
+    ws: &mut Workspace,
+) -> Tensor {
+    match hook {
+        Some(h) => {
+            let y = h.apply_ws(&x, ws);
+            ws.recycle_tensor(x);
+            y
+        }
         None => x,
     }
 }

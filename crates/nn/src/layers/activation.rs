@@ -1,4 +1,4 @@
-use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::layer::{apply_hook, apply_hook_ws, ActivationHook, HookSlot, Layer, Mode};
 use crate::NnError;
 use ahw_tensor::{Tensor, Workspace};
 use std::sync::Arc;
@@ -76,7 +76,7 @@ impl Layer for ReLU {
             return Err(e.into());
         }
         let y = Tensor::from_vec(y, x.dims())?;
-        Ok(apply_hook(&self.hook, y))
+        Ok(apply_hook_ws(&self.hook, y, ws))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

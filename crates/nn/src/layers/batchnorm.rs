@@ -1,4 +1,4 @@
-use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::layer::{apply_hook, apply_hook_ws, ActivationHook, HookSlot, Layer, Mode};
 use crate::{NnError, Param};
 use ahw_tensor::{Tensor, TensorError, Workspace};
 use std::sync::Arc;
@@ -273,7 +273,7 @@ impl Layer for BatchNorm2d {
             from_ws: true,
         });
         let y = Tensor::from_vec(y, x.dims())?;
-        Ok(apply_hook(&self.hook, y))
+        Ok(apply_hook_ws(&self.hook, y, ws))
     }
 
     fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {

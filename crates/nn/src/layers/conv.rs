@@ -1,4 +1,4 @@
-use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::layer::{apply_hook, apply_hook_ws, ActivationHook, HookSlot, Layer, Mode};
 use crate::util::{par_items2_mut, par_items_mut, par_map_reduce, ErrCell};
 use crate::{NnError, Param};
 use ahw_tensor::ops::{self, ConvGeometry};
@@ -316,7 +316,7 @@ impl Layer for Conv2d {
         }
         self.ws_cache = Some((cols, g, n));
         let y = Tensor::from_vec(out, &[n, oc, g.out_height(), g.out_width()])?;
-        Ok(apply_hook(&self.hook, y))
+        Ok(apply_hook_ws(&self.hook, y, ws))
     }
 
     fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {

@@ -1,4 +1,4 @@
-use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::layer::{apply_hook, apply_hook_ws, ActivationHook, HookSlot, Layer, Mode};
 use crate::{NnError, Param};
 use ahw_tensor::ops;
 use ahw_tensor::rng::Rng;
@@ -226,7 +226,7 @@ impl Layer for Linear {
             Vec::new()
         });
         let y = Tensor::from_vec(y, &[n, self.out_features])?;
-        Ok(apply_hook(&self.hook, y))
+        Ok(apply_hook_ws(&self.hook, y, ws))
     }
 
     fn forward_infer(&self, x: &Tensor) -> Result<Tensor, NnError> {

@@ -1,4 +1,4 @@
-use crate::layer::{apply_hook, ActivationHook, HookSlot, Layer, Mode};
+use crate::layer::{apply_hook, apply_hook_ws, ActivationHook, HookSlot, Layer, Mode};
 use crate::NnError;
 use ahw_tensor::{Shape, Tensor, TensorError, Workspace};
 use std::sync::Arc;
@@ -153,7 +153,7 @@ impl Layer for MaxPool2d {
         let od = self.run_core(x, &mut out, &mut argmax);
         self.cache = Some((Shape::new(x.dims()), argmax));
         let y = Tensor::from_vec(out, &od)?;
-        Ok(apply_hook(&self.hook, y))
+        Ok(apply_hook_ws(&self.hook, y, ws))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
@@ -341,7 +341,7 @@ impl Layer for AvgPool2d {
         let od = self.run_core(x, &mut out);
         self.cache = Some(Shape::new(x.dims()));
         let y = Tensor::from_vec(out, &od)?;
-        Ok(apply_hook(&self.hook, y))
+        Ok(apply_hook_ws(&self.hook, y, ws))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {

@@ -368,9 +368,10 @@ where
 ///
 /// Propagates panics from `body`; panics in debug builds if `out.len()` is
 /// not a multiple of `row_len`.
-pub fn par_row_chunks_mut<F>(out: &mut [f32], row_len: usize, min_rows: usize, body: F)
+pub fn par_row_chunks_mut<T, F>(out: &mut [T], row_len: usize, min_rows: usize, body: F)
 where
-    F: Fn(usize, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     if out.is_empty() || row_len == 0 {
         return;
@@ -391,9 +392,85 @@ where
 
 /// Raw mutable pointer that may cross threads; safe because the pool hands
 /// every range to exactly one task.
-struct SendPtr(*mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Allocation-free sibling of [`parallel_map`]: computes `f(i)` for every
+/// index in `0..slots.len()` and overwrites `slots[i]` with the result.
+///
+/// The result buffer is caller-provided — typically a small stack array of
+/// per-chunk partials — so fixed-chunk fused reductions (the quantizer's
+/// single-pass min-max, the injector's chunked content hash) stay heap-free
+/// in steady state at any thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map_slots<T, F>(slots: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = slots.len();
+    if n == 0 {
+        return;
+    }
+    let base = SendPtr(slots.as_mut_ptr());
+    let base = &base;
+    parallel_for_ranges(n, min_chunk, |r: Range<usize>| {
+        for i in r {
+            let v = f(i);
+            // SAFETY: ranges from `parallel_for_ranges` are disjoint and
+            // within `0..n`, so slot `i` is written by exactly one task.
+            unsafe { *base.0.add(i) = v };
+        }
+    });
+}
+
+/// Fixed-chunk partition of `out` with one result slot per chunk: splits
+/// `out` into `chunk`-sized pieces (the last may be short), runs
+/// `body(piece_index, piece)` on each piece in parallel, and stores the
+/// returned value in `slots[piece_index]`.
+///
+/// Because the piece boundaries depend only on `out.len()` and `chunk`
+/// (never on the thread count), per-piece results folded in slot order are
+/// bit-identical at any `AHW_THREADS` — the same fixed-boundary argument as
+/// [`sum_mapped`], generalized to mutable output plus a carried value (the
+/// quantizer uses it to write codes and accumulate a content hash in one
+/// pass).
+///
+/// # Panics
+///
+/// Panics if `slots.len() != out.len().div_ceil(chunk)`; propagates panics
+/// from `body`.
+pub fn par_chunk_fold_mut<T, U, F>(out: &mut [T], chunk: usize, slots: &mut [U], body: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T]) -> U + Sync,
+{
+    let n = out.len();
+    let chunk = chunk.max(1);
+    assert_eq!(
+        slots.len(),
+        n.div_ceil(chunk),
+        "par_chunk_fold_mut: one slot per chunk required"
+    );
+    if n == 0 {
+        return;
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    let base = &base;
+    parallel_map_slots(slots, 1, |i| {
+        let lo = i * chunk;
+        let hi = (lo + chunk).min(n);
+        // SAFETY: piece index `i` is visited by exactly one task and pieces
+        // are disjoint subranges of `out`.
+        let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+        body(i, piece)
+    });
+}
 
 /// Parallel map over `0..n`: computes `f(i)` for every index on the pool
 /// and returns the results **in index order**, so downstream reductions
@@ -608,6 +685,52 @@ mod tests {
         });
         set_thread_override(None);
         assert!(result.is_err(), "map task panic was swallowed");
+    }
+
+    #[test]
+    fn map_slots_fills_every_slot_in_order() {
+        for &threads in &[1usize, 2, 4, 7] {
+            set_thread_override(Some(threads));
+            let mut slots = [0usize; 97];
+            parallel_map_slots(&mut slots, 1, |i| i * 3);
+            set_thread_override(None);
+            assert!(
+                slots.iter().enumerate().all(|(i, &v)| v == i * 3),
+                "slot contents broken at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_fold_writes_pieces_and_slots() {
+        for &threads in &[1usize, 2, 4, 7] {
+            let n = 1003;
+            let chunk = 64;
+            let mut out = vec![0u8; n];
+            let mut slots = vec![0usize; n.div_ceil(chunk)];
+            set_thread_override(Some(threads));
+            par_chunk_fold_mut(&mut out, chunk, &mut slots, |i, piece| {
+                for v in piece.iter_mut() {
+                    *v = (i % 251) as u8;
+                }
+                piece.len()
+            });
+            set_thread_override(None);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, ((i / chunk) % 251) as u8, "piece write broken");
+            }
+            let total: usize = slots.iter().sum();
+            assert_eq!(total, n, "slots must cover out exactly at {threads}");
+            assert_eq!(*slots.last().unwrap(), n % chunk, "short tail piece");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one slot per chunk")]
+    fn chunk_fold_rejects_slot_mismatch() {
+        let mut out = vec![0u8; 10];
+        let mut slots = vec![0usize; 2];
+        par_chunk_fold_mut(&mut out, 4, &mut slots, |_, _| 0);
     }
 
     #[test]

@@ -6,7 +6,112 @@
 //! mapping them back to reals. The same machinery, at other bit-widths,
 //! implements the QUANOS and pixel-discretization defense baselines.
 
-use crate::{Shape, Tensor, TensorError};
+use crate::{pool, Shape, Tensor, TensorError};
+
+/// FNV-1a 64-bit offset basis — the content-hash parameters of the fused
+/// quantize pass (see [`quantize_with_into`]).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Minimum chunk length for the fused parallel passes.
+const CHUNK_MIN: usize = 4096;
+/// Upper bound on chunk count, so per-chunk partials fit in a fixed-size
+/// stack array (no heap allocation in the steady state).
+const MAX_CHUNKS: usize = 64;
+
+/// Fixed chunk length for `len` elements. Depends only on the data length —
+/// never on the thread count — so per-chunk partials combined in chunk
+/// order are bit-identical at any `AHW_THREADS`.
+fn chunk_for(len: usize) -> usize {
+    CHUNK_MIN.max(len.div_ceil(MAX_CHUNKS))
+}
+
+/// Fused single-pass minimum and maximum of `data`.
+///
+/// One sweep instead of the two separate `Tensor::min` / `Tensor::max`
+/// passes, with the identical NaN-ignoring `f32::min`/`f32::max` folds, so
+/// the result is value-identical to the two-pass form. Returns
+/// `(inf, -inf)` for empty input. Large inputs run chunked on the worker
+/// pool with fixed boundaries (thread-count-invariant).
+pub fn min_max(data: &[f32]) -> (f32, f32) {
+    const IDENTITY: (f32, f32) = (f32::INFINITY, f32::NEG_INFINITY);
+    let sweep = |acc: (f32, f32), piece: &[f32]| {
+        piece
+            .iter()
+            .fold(acc, |(lo, hi), &v| (lo.min(v), hi.max(v)))
+    };
+    let chunk = chunk_for(data.len());
+    if data.len() <= chunk {
+        return sweep(IDENTITY, data);
+    }
+    let chunks = data.len().div_ceil(chunk);
+    let mut partials = [IDENTITY; MAX_CHUNKS];
+    pool::parallel_map_slots(&mut partials[..chunks], 1, |i| {
+        let lo = i * chunk;
+        let hi = (lo + chunk).min(data.len());
+        sweep(IDENTITY, &data[lo..hi])
+    });
+    partials[..chunks]
+        .iter()
+        .fold(IDENTITY, |(lo, hi), &(plo, phi)| (lo.min(plo), hi.max(phi)))
+}
+
+/// Quantizes `src` into `out` (same length) under `params`, returning the
+/// FNV-1a-based content hash of the produced codes — hashing is fused into
+/// the quantize pass, so consumers that need a digest of the stored words
+/// (the SRAM injector keying its noise stream) pay no separate scan.
+///
+/// The hash is chunk-combined: plain FNV-1a over each fixed-length chunk of
+/// codes, partials folded in chunk order as `h = (h ^ partial) * prime`
+/// from the offset basis. Chunk boundaries depend only on the length, so
+/// the digest is a pure function of the code contents and bit-identical at
+/// any `AHW_THREADS`.
+///
+/// # Panics
+///
+/// Panics if `src.len() != out.len()`.
+pub fn quantize_with_into(src: &[f32], params: QuantParams, out: &mut [u8]) -> u64 {
+    assert_eq!(src.len(), out.len(), "quantize_with_into length mismatch");
+    if src.is_empty() {
+        return FNV_OFFSET;
+    }
+    let chunk = chunk_for(src.len());
+    let chunks = src.len().div_ceil(chunk);
+    let mut partials = [0u64; MAX_CHUNKS];
+    pool::par_chunk_fold_mut(out, chunk, &mut partials[..chunks], |i, piece| {
+        let start = i * chunk;
+        let mut h = FNV_OFFSET;
+        for (&v, o) in src[start..start + piece.len()].iter().zip(piece.iter_mut()) {
+            let c = params.quantize(v);
+            *o = c;
+            h = (h ^ u64::from(c)).wrapping_mul(FNV_PRIME);
+        }
+        h
+    });
+    partials[..chunks]
+        .iter()
+        .fold(FNV_OFFSET, |h, &p| (h ^ p).wrapping_mul(FNV_PRIME))
+}
+
+/// Decodes `codes` into `out` (same length) under `params`.
+///
+/// The slice-based sibling of [`QTensor::dequantize`] for workspace-backed
+/// buffers; element-wise, so chunk boundaries cannot affect the result.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != out.len()`.
+pub fn dequantize_into(codes: &[u8], params: QuantParams, out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len(), "dequantize_into length mismatch");
+    let chunk = chunk_for(codes.len());
+    pool::par_row_chunks_mut(out, 1, chunk, |first, block| {
+        let src = &codes[first..first + block.len()];
+        for (o, &c) in block.iter_mut().zip(src) {
+            *o = params.dequantize(c);
+        }
+    });
+}
 
 /// Affine quantization parameters: `real = (code - zero_point) * scale`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,7 +165,8 @@ impl QuantParams {
         if t.is_empty() {
             return Self::from_range(0.0, 0.0, bits);
         }
-        Self::from_range(t.min().min(0.0), t.max().max(0.0), bits)
+        let (lo, hi) = min_max(t.as_slice());
+        Self::from_range(lo.min(0.0), hi.max(0.0), bits)
     }
 
     /// Largest representable code.
@@ -115,7 +221,8 @@ impl QTensor {
 
     /// Quantizes a tensor with caller-supplied parameters.
     pub fn quantize_with(t: &Tensor, params: QuantParams) -> Self {
-        let codes = t.as_slice().iter().map(|&v| params.quantize(v)).collect();
+        let mut codes = vec![0u8; t.len()];
+        quantize_with_into(t.as_slice(), params, &mut codes);
         QTensor {
             codes,
             shape: t.shape().clone(),
@@ -125,11 +232,8 @@ impl QTensor {
 
     /// Decodes back to reals.
     pub fn dequantize(&self) -> Tensor {
-        let data = self
-            .codes
-            .iter()
-            .map(|&c| self.params.dequantize(c))
-            .collect();
+        let mut data = vec![0.0f32; self.codes.len()];
+        dequantize_into(&self.codes, self.params, &mut data);
         Tensor::from_vec(data, self.shape.dims()).expect("shape preserved")
     }
 
@@ -242,6 +346,72 @@ mod tests {
         let err = |bits| fake_quantize(&x, bits).unwrap().sub(&x).unwrap().norm();
         assert!(err(2) > err(4));
         assert!(err(4) > err(8));
+    }
+
+    #[test]
+    fn min_max_matches_two_pass_and_threads() {
+        // 300k elements forces the chunked multi-slot path (64 chunks).
+        let x = crate::rng::uniform(&[300_000], -3.0, 5.0, &mut crate::rng::seeded(40));
+        let expect = (x.min(), x.max());
+        for &threads in &[1usize, 2, 4, 7] {
+            crate::pool::set_thread_override(Some(threads));
+            let got = min_max(x.as_slice());
+            crate::pool::set_thread_override(None);
+            assert_eq!(got.0.to_bits(), expect.0.to_bits(), "min at {threads}");
+            assert_eq!(got.1.to_bits(), expect.1.to_bits(), "max at {threads}");
+        }
+        assert_eq!(min_max(&[]), (f32::INFINITY, f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn fused_fit_matches_two_pass_fit() {
+        let x = crate::rng::uniform(&[100_000], 0.1, 2.0, &mut crate::rng::seeded(41));
+        let fused = QuantParams::fit(&x, 8).unwrap();
+        let two_pass = QuantParams::from_range(x.min().min(0.0), x.max().max(0.0), 8).unwrap();
+        assert_eq!(fused, two_pass);
+    }
+
+    #[test]
+    fn quantize_into_matches_per_element_and_is_thread_invariant() {
+        let x = crate::rng::uniform(&[123_457], -1.0, 1.0, &mut crate::rng::seeded(42));
+        let params = QuantParams::fit(&x, 8).unwrap();
+        let expect: Vec<u8> = x.as_slice().iter().map(|&v| params.quantize(v)).collect();
+        let mut hashes = Vec::new();
+        for &threads in &[1usize, 2, 4, 7] {
+            crate::pool::set_thread_override(Some(threads));
+            let mut codes = vec![0u8; x.len()];
+            let h = quantize_with_into(x.as_slice(), params, &mut codes);
+            crate::pool::set_thread_override(None);
+            assert_eq!(codes, expect, "codes differ at {threads} threads");
+            hashes.push(h);
+        }
+        assert!(
+            hashes.iter().all(|&h| h == hashes[0]),
+            "content hash depends on thread count: {hashes:?}"
+        );
+    }
+
+    #[test]
+    fn content_hash_tracks_content() {
+        let params = QuantParams::from_range(0.0, 1.0, 8).unwrap();
+        let a: Vec<f32> = (0..10_000).map(|i| (i % 97) as f32 / 97.0).collect();
+        let mut b = a.clone();
+        b[7_777] = 1.0 - b[7_777];
+        let mut codes = vec![0u8; a.len()];
+        let ha = quantize_with_into(&a, params, &mut codes);
+        let hb = quantize_with_into(&b, params, &mut codes);
+        assert_ne!(ha, hb, "hash must react to a single changed word");
+        let ha2 = quantize_with_into(&a, params, &mut codes);
+        assert_eq!(ha, ha2, "hash must be a pure function of content");
+    }
+
+    #[test]
+    fn dequantize_into_matches_method() {
+        let x = crate::rng::uniform(&[50_000], -2.0, 2.0, &mut crate::rng::seeded(43));
+        let q = QTensor::quantize(&x, 6).unwrap();
+        let mut out = vec![0.0f32; x.len()];
+        dequantize_into(q.codes(), q.params(), &mut out);
+        assert_eq!(out, q.dequantize().into_vec());
     }
 
     #[test]

@@ -122,6 +122,75 @@ pub fn stream(seed: u64, stream_id: u64) -> Xoshiro256 {
     Xoshiro256::seed_from_u64(diffused ^ stream_id.wrapping_mul(GOLDEN_GAMMA))
 }
 
+/// Geometric gap sampler for sparse Bernoulli event streams.
+///
+/// For a virtual sequence of independent trials that each succeed with
+/// probability `p`, the number of failures before the next success is
+/// geometrically distributed, and inverting its CDF turns **one** uniform
+/// draw into the whole gap: `gap = floor(ln(u) / ln(1 - p))`. Sparse
+/// consumers — the SRAM bit-error injector skipping from flip to flip —
+/// therefore pay O(events) RNG work instead of O(trials), while consuming
+/// the underlying stream in a fixed, scheduling-independent order.
+///
+/// The division is precomputed as a multiplication by `1 / ln(1 - p)`, so a
+/// gap draw is one `next_f64`, one `ln`, one multiply, and a saturating
+/// float-to-int cast. Edge cases fall out of IEEE-754 arithmetic: `u == 0`
+/// yields `ln(0) = -inf` and the cast saturates to `u64::MAX` (no further
+/// event), and `p == 1` makes the multiplier `-0.0` so every gap is 0
+/// (every trial succeeds). `p == 0` is special-cased to "never".
+///
+/// ```
+/// use ahw_tensor::rng::{self, GeometricSkip, Rng};
+/// let skip = GeometricSkip::new(0.25);
+/// let mut rng = rng::seeded(7);
+/// let gap = skip.next_gap(&mut rng); // failures before the next success
+/// assert!(gap < u64::MAX);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricSkip {
+    p: f64,
+    /// `1 / ln(1 - p)`: finite negative for `p` in (0, 1), `-0.0` at `p = 1`.
+    inv_ln_q: f64,
+}
+
+impl GeometricSkip {
+    /// Creates a sampler for per-trial success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or not finite.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "GeometricSkip p {p} outside [0, 1]"
+        );
+        GeometricSkip {
+            p,
+            inv_ln_q: 1.0 / (1.0 - p).ln(),
+        }
+    }
+
+    /// The per-trial success probability this sampler was built for.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of failed trials before the next success, from one uniform
+    /// draw. Returns `u64::MAX` ("no further event") when `p == 0`, and on
+    /// the measure-zero draw `u == 0` for `p < 1`.
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p <= 0.0 {
+            return u64::MAX;
+        }
+        let u = rng.next_f64();
+        // ln(u) ≤ 0 and inv_ln_q ≤ -0.0, so the product is non-negative;
+        // the `as` cast floors it and saturates +inf to u64::MAX (and the
+        // p == 1, u == 0 NaN corner to 0, i.e. "success now" — correct,
+        // since at p == 1 every trial succeeds).
+        (u.ln() * self.inv_ln_q) as u64
+    }
+}
+
 /// A type that can parameterize [`Rng::gen_range`] — implemented for
 /// half-open (`lo..hi`) and inclusive (`lo..=hi`) ranges over the integer
 /// and float types the workspace samples.
@@ -477,6 +546,75 @@ mod tests {
         let mut buf = [0u8; 13];
         seeded(106).fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    // ---- geometric skip sampler ------------------------------------------
+
+    #[test]
+    fn geometric_mean_advance_is_one_over_p() {
+        // Mean gap is (1-p)/p, so the mean advance (gap + 1) is 1/p.
+        for &p in &[0.5f64, 0.1, 0.01] {
+            let skip = GeometricSkip::new(p);
+            let mut rng = seeded(200);
+            let n = 200_000u64;
+            let total: f64 = (0..n).map(|_| skip.next_gap(&mut rng) as f64 + 1.0).sum();
+            let mean = total / n as f64;
+            let expect = 1.0 / p;
+            assert!(
+                (mean - expect).abs() < expect * 0.03,
+                "p={p}: mean advance {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_event_rate_matches_p() {
+        // Simulate the consumer: walk a virtual trial sequence by gap draws
+        // and check the fraction of successful trials is ~p.
+        let p = 0.02f64;
+        let skip = GeometricSkip::new(p);
+        let mut rng = seeded(201);
+        let trials = 2_000_000u64;
+        let mut pos = 0u64;
+        let mut events = 0u64;
+        loop {
+            pos = pos.saturating_add(skip.next_gap(&mut rng));
+            if pos >= trials {
+                break;
+            }
+            events += 1;
+            pos += 1;
+        }
+        let rate = events as f64 / trials as f64;
+        assert!((rate - p).abs() < p * 0.05, "event rate {rate} vs {p}");
+    }
+
+    #[test]
+    fn geometric_is_deterministic_across_streams() {
+        let skip = GeometricSkip::new(0.03);
+        let draw = |stream_id: u64| -> Vec<u64> {
+            let mut r = stream(7, stream_id);
+            (0..16).map(|_| skip.next_gap(&mut r)).collect()
+        };
+        assert_eq!(draw(3), draw(3), "same (seed, stream) must replay");
+        assert_ne!(draw(3), draw(4), "distinct streams must decorrelate");
+    }
+
+    #[test]
+    fn geometric_edge_probabilities() {
+        let mut rng = seeded(202);
+        let never = GeometricSkip::new(0.0);
+        assert_eq!(never.next_gap(&mut rng), u64::MAX);
+        let always = GeometricSkip::new(1.0);
+        for _ in 0..32 {
+            assert_eq!(always.next_gap(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn geometric_rejects_bad_p() {
+        let _ = GeometricSkip::new(1.5);
     }
 
     // ---- golden values: the experiment-reproducibility contract ----------

@@ -59,6 +59,9 @@ pub struct Checkpoint {
 #[derive(Debug, Default)]
 pub struct Workspace {
     free: HashMap<usize, Vec<Vec<f32>>>,
+    /// Separate free lists for byte buffers (quantized code words); same
+    /// exact-length reuse contract as the `f32` lists.
+    free_u8: HashMap<usize, Vec<Vec<u8>>>,
     outstanding: usize,
     resident: usize,
 }
@@ -107,6 +110,29 @@ impl Workspace {
         self.recycle(t.into_vec());
     }
 
+    /// Takes a byte buffer of exactly `len` elements (quantized code words),
+    /// reusing a recycled one when available. Contents are **unspecified**,
+    /// exactly as for [`Workspace::take`].
+    pub fn take_u8(&mut self, len: usize) -> Vec<u8> {
+        self.outstanding += 1;
+        if let Some(buf) = self.free_u8.get_mut(&len).and_then(Vec::pop) {
+            self.resident -= len;
+            resident_sub(len);
+            WS_REUSED.incr();
+            return buf;
+        }
+        WS_ALLOCATED.incr();
+        vec![0; len]
+    }
+
+    /// Returns a byte buffer to the free list for later reuse.
+    pub fn recycle_u8(&mut self, buf: Vec<u8>) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.resident += buf.len();
+        resident_add(buf.len());
+        self.free_u8.entry(buf.len()).or_default().push(buf);
+    }
+
     /// Records how many buffers are currently checked out, so a scope can
     /// later assert (in debug builds) that it returned everything it took.
     pub fn checkpoint(&self) -> Checkpoint {
@@ -142,6 +168,7 @@ impl Workspace {
         resident_sub(self.resident);
         self.resident = 0;
         self.free.clear();
+        self.free_u8.clear();
     }
 }
 
@@ -235,6 +262,27 @@ mod tests {
         ws.recycle_tensor(t);
         let back = ws.take(6);
         assert_eq!(back.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn u8_buffers_reuse_and_account_separately() {
+        let mut ws = Workspace::new();
+        let a = ws.take_u8(64);
+        let ptr = a.as_ptr();
+        assert_eq!(ws.outstanding(), 1);
+        ws.recycle_u8(a);
+        assert_eq!(ws.resident_bytes(), 64, "u8 buffers count one byte each");
+        // an f32 request of the same length must not steal the byte buffer
+        let f = ws.take(64);
+        assert_eq!(ws.resident_bytes(), 64);
+        let b = ws.take_u8(64);
+        assert_eq!(b.as_ptr(), ptr, "same-length u8 take must reuse");
+        assert_eq!(ws.resident_bytes(), 0);
+        ws.recycle(f);
+        ws.recycle_u8(b);
+        assert_eq!(ws.outstanding(), 0);
+        ws.clear();
+        assert_eq!(ws.resident_bytes(), 0);
     }
 
     #[test]

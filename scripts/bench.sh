@@ -52,6 +52,18 @@ cargo bench --offline -q -p ahw-bench --bench kernels -- attacks/pgd_eval \
     | tee -a "$out"
 unset AHW_METRICS
 
+# Injection workload: the activation-sized store->flip->load round trip.
+# Metrics on, so the snapshot line carries the sparse-event telemetry
+# (sram.injector.skip_draws vs bit_flips shows RNG work is O(flips), and
+# words_stored the traffic) next to the timing.
+export AHW_METRICS=1
+echo "bench: sram/inject -> $out" >&2
+cargo bench --offline -q -p ahw-bench --bench kernels -- sram/inject \
+    | grep '^{' \
+    | sed "s/^{/{\"rev\":\"$rev\",\"threads\":$threads,\"telemetry\":\"on\",/" \
+    | tee -a "$out"
+unset AHW_METRICS
+
 # Selection-search workload: one miniature Fig. 4 search (candidate sweep +
 # combination phase), at 1 worker and at 4 so the candidate-level parallelism
 # of the search pipeline shows up as its own rows. Metrics stay on — the

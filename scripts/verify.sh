@@ -23,3 +23,8 @@ AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
 # deterministic argmax, journal-less memoization).
 AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
     cargo bench --offline -q -p ahw-bench --bench kernels -- selection/fig4_probe
+# Smoke: the sparse-event bit-error injector on a 2-thread pool exercises
+# the fused quantize/hash pass and the geometric-skip flip loop (results
+# must be thread-count-invariant; the determinism tests pin that).
+AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
+    cargo bench --offline -q -p ahw-bench --bench kernels -- sram/inject
