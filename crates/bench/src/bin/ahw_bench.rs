@@ -1,0 +1,137 @@
+//! Bench tooling CLI.
+//!
+//! ```text
+//! ahw_bench --compare [--file BENCH_kernels.json] [--threshold 0.10] [--report]
+//! ahw_bench --scrape <host:port> <path>
+//! ```
+//!
+//! `--compare` runs the bench-regression watchdog over the committed
+//! history (see [`ahw_bench::compare`]): for every (workload, threads,
+//! telemetry) key it compares the two most recent rows and exits nonzero
+//! if any key regressed — unless `--report` is given, which always exits
+//! zero (the mode `scripts/bench.sh` uses right after appending fresh
+//! rows). `scripts/verify.sh` runs the strict mode as an opt-in gate.
+//!
+//! `--scrape` is a minimal std-`TcpStream` HTTP GET client for the live
+//! telemetry endpoint: prints the response body to stdout and exits zero
+//! only on a 200, so shell scripts can probe `/healthz` and `/metrics`
+//! without curl.
+
+use ahw_bench::compare::{compare, parse_rows, Verdict, DEFAULT_THRESHOLD};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ahw_bench --compare [--file BENCH_kernels.json] [--threshold 0.10] [--report]\n       ahw_bench --scrape <host:port> <path>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if has("--scrape") {
+        let addr = value("--scrape").unwrap_or_else(|| usage());
+        let path = args
+            .iter()
+            .position(|a| a == "--scrape")
+            .and_then(|i| args.get(i + 2))
+            .cloned()
+            .unwrap_or_else(|| "/healthz".to_string());
+        std::process::exit(scrape(&addr, &path));
+    }
+    if !has("--compare") {
+        usage();
+    }
+    let file = value("--file").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let threshold: f64 = value("--threshold")
+        .map(|t| t.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(DEFAULT_THRESHOLD);
+    let report_only = has("--report");
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ahw_bench: cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rows = parse_rows(&text);
+    let comparisons = compare(&rows, threshold);
+    if comparisons.is_empty() {
+        println!(
+            "bench-compare: no key in {file} has two rows to compare ({} rows parsed)",
+            rows.len()
+        );
+        return;
+    }
+    let mut regressed = 0usize;
+    for c in &comparisons {
+        println!("{c}");
+        if c.verdict == Verdict::Regressed {
+            regressed += 1;
+        }
+    }
+    println!(
+        "bench-compare: {} keys compared, {} regressed (threshold {:.0}%, {} rows from {file})",
+        comparisons.len(),
+        regressed,
+        threshold * 100.0,
+        rows.len()
+    );
+    if regressed > 0 && !report_only {
+        std::process::exit(1);
+    }
+}
+
+/// GETs `http://addr{path}` over a plain TcpStream; prints the body to
+/// stdout and the status line to stderr. Exit code 0 iff the status is 200.
+fn scrape(addr: &str, path: &str) -> i32 {
+    let sock = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(s) => s,
+        None => {
+            eprintln!("ahw_bench: bad address {addr}");
+            return 2;
+        }
+    };
+    let mut stream = match TcpStream::connect_timeout(&sock, Duration::from_secs(5)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ahw_bench: connect {addr}: {e}");
+            return 1;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    if let Err(e) = write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    ) {
+        eprintln!("ahw_bench: write {addr}: {e}");
+        return 1;
+    }
+    let mut response = String::new();
+    if let Err(e) = stream.read_to_string(&mut response) {
+        eprintln!("ahw_bench: read {addr}: {e}");
+        return 1;
+    }
+    let (head, body) = match response.find("\r\n\r\n") {
+        Some(i) => (&response[..i], &response[i + 4..]),
+        None => (response.as_str(), ""),
+    };
+    let status_line = head.lines().next().unwrap_or("");
+    eprintln!("{status_line}");
+    print!("{body}");
+    if status_line.split_whitespace().nth(1) == Some("200") {
+        0
+    } else {
+        1
+    }
+}

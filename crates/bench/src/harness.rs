@@ -33,6 +33,9 @@ pub struct Harness {
     warmup: Duration,
     ran: usize,
     skipped: usize,
+    /// Live metrics server, when `AHW_METRICS_ADDR` is set — held so a
+    /// long bench run can be scraped while it is in flight.
+    server: Option<ahw_telemetry::MetricsServer>,
 }
 
 impl Default for Harness {
@@ -43,6 +46,7 @@ impl Default for Harness {
             warmup: Duration::from_millis(300),
             ran: 0,
             skipped: 0,
+            server: None,
         }
     }
 }
@@ -58,6 +62,12 @@ pub struct Summary {
     pub iters: u64,
     /// Median of the per-sample mean iteration times.
     pub median_ns: u128,
+    /// 75th percentile of the per-sample mean iteration times
+    /// (nearest-rank).
+    pub p75_ns: u128,
+    /// 95th percentile of the per-sample mean iteration times
+    /// (nearest-rank; with few samples this approaches the max).
+    pub p95_ns: u128,
     /// Fastest sample.
     pub min_ns: u128,
     /// Slowest sample.
@@ -68,10 +78,24 @@ impl Summary {
     /// The JSON line printed for this result.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"name\":\"{}\",\"samples\":{},\"iters\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
-            self.name, self.samples, self.iters, self.median_ns, self.min_ns, self.max_ns
+            "{{\"name\":\"{}\",\"samples\":{},\"iters\":{},\"median_ns\":{},\"p75_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            self.name,
+            self.samples,
+            self.iters,
+            self.median_ns,
+            self.p75_ns,
+            self.p95_ns,
+            self.min_ns,
+            self.max_ns
         )
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample list: the value at
+/// 1-based rank `ceil(q * len)`.
+fn percentile(sorted: &[u128], q: f64) -> u128 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 impl Harness {
@@ -84,6 +108,7 @@ impl Harness {
             .collect();
         let mut h = Harness {
             filters,
+            server: ahw_telemetry::serve::start_from_env(),
             ..Harness::default()
         };
         if let Some(s) = env_u64("AHW_BENCH_SAMPLES") {
@@ -113,6 +138,12 @@ impl Harness {
     pub fn warmup(mut self, warmup: Duration) -> Self {
         self.warmup = warmup;
         self
+    }
+
+    /// The live metrics server's bound address, when `AHW_METRICS_ADDR`
+    /// started one.
+    pub fn server_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(ahw_telemetry::MetricsServer::addr)
     }
 
     /// Whether `name` passes the command-line filters.
@@ -157,6 +188,8 @@ impl Harness {
             samples: self.samples,
             iters,
             median_ns: sample_ns[sample_ns.len() / 2],
+            p75_ns: percentile(&sample_ns, 0.75),
+            p95_ns: percentile(&sample_ns, 0.95),
             min_ns: sample_ns[0],
             max_ns: *sample_ns.last().unwrap(),
         };
@@ -209,7 +242,19 @@ mod tests {
         assert_eq!(s.samples, 4);
         assert!(s.iters >= 1);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
-        assert!(s.to_json().contains("\"name\":\"spin\""));
+        assert!(s.median_ns <= s.p75_ns && s.p75_ns <= s.p95_ns && s.p95_ns <= s.max_ns);
+        let json = s.to_json();
+        assert!(json.contains("\"name\":\"spin\""));
+        assert!(json.contains("\"p75_ns\":") && json.contains("\"p95_ns\":"));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_pinned() {
+        let sorted = [10u128, 20, 30, 40, 50];
+        assert_eq!(percentile(&sorted, 0.50), 30); // rank ceil(2.5)=3
+        assert_eq!(percentile(&sorted, 0.75), 40); // rank ceil(3.75)=4
+        assert_eq!(percentile(&sorted, 0.95), 50); // rank ceil(4.75)=5
+        assert_eq!(percentile(&[7u128], 0.95), 7);
     }
 
     #[test]

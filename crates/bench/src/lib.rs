@@ -20,6 +20,7 @@
 //! | `exp_fig8a` | Fig. 8(a) — R_MIN study |
 //! | `exp_fig8bc` | Fig. 8(b,c) — defense comparison |
 
+pub mod compare;
 pub mod experiments;
 pub mod harness;
 pub mod table;
@@ -198,13 +199,25 @@ impl Args {
     }
 }
 
-/// RAII guard flushing telemetry exporters at scope exit: writes the
-/// `AHW_TRACE` trace-event file and prints the `AHW_METRICS` stderr summary
-/// (both no-ops when telemetry is disabled). Experiment binaries hold one
-/// for the whole of `main` so traces survive early returns.
+/// RAII guard owning an experiment's telemetry lifecycle: on creation it
+/// starts the live metrics server when `AHW_METRICS_ADDR` is set (the
+/// handle is held so the bound address stays discoverable for the whole of
+/// `main`); on drop it flushes the exporters — writes the `AHW_TRACE`
+/// trace-event file and prints the `AHW_METRICS` stderr summary (both
+/// no-ops when telemetry is disabled). Experiment binaries hold one for
+/// the whole of `main` so traces survive early returns.
 #[must_use = "the flush happens when the guard drops"]
 #[derive(Debug)]
-pub struct TelemetryFlush;
+pub struct TelemetryFlush {
+    server: Option<ahw_telemetry::MetricsServer>,
+}
+
+impl TelemetryFlush {
+    /// The live metrics server's bound address, when one is running.
+    pub fn server_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(ahw_telemetry::MetricsServer::addr)
+    }
+}
 
 impl Drop for TelemetryFlush {
     fn drop(&mut self) {
@@ -212,9 +225,12 @@ impl Drop for TelemetryFlush {
     }
 }
 
-/// Creates a [`TelemetryFlush`] guard; bind it at the top of `main`.
+/// Creates a [`TelemetryFlush`] guard (starting the `AHW_METRICS_ADDR`
+/// server if configured); bind it at the top of `main`.
 pub fn telemetry_flush() -> TelemetryFlush {
-    TelemetryFlush
+    TelemetryFlush {
+        server: ahw_telemetry::serve::start_from_env(),
+    }
 }
 
 /// The model-checkpoint cache directory: `$AHW_CACHE` or

@@ -31,7 +31,12 @@
 //!   `<path>` at [`finish`] (open it in <https://ui.perfetto.dev> or
 //!   chrome://tracing);
 //! * `AHW_METRICS=1` — record metrics and print the summary table to stderr
-//!   at [`finish`] (any non-empty value other than `0` counts).
+//!   at [`finish`] (any non-empty value other than `0` counts);
+//! * `AHW_METRICS_ADDR=<host:port>` — additionally serve the live
+//!   endpoints (`/metrics`, `/snapshot.json`, `/trace.json`, `/healthz`)
+//!   from a background thread once the process calls
+//!   [`serve::start_from_env`] (the experiment binaries and the bench
+//!   harness do this at startup).
 //!
 //! Tests and long-lived processes can override the environment with
 //! [`set_enabled`] and read back state with [`snapshot`] / [`drain_spans`].
@@ -64,15 +69,20 @@
 pub mod export;
 pub mod metrics;
 pub mod progress;
+pub mod serve;
 pub mod span;
 
-pub use export::{finish, render_summary, snapshot_json, trace_json, write_trace};
+pub use export::{
+    finish, is_prometheus_name, prometheus_name, prometheus_text, render_summary, snapshot_json,
+    trace_json, write_trace,
+};
 pub use metrics::{
     counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter,
     LazyGauge, LazyHistogram, MetricsSnapshot,
 };
 pub use progress::Progress;
-pub use span::{drain_spans, span, span_labeled, thread_id, SpanEvent, SpanGuard};
+pub use serve::MetricsServer;
+pub use span::{drain_spans, peek_spans, span, span_labeled, thread_id, SpanEvent, SpanGuard};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -97,11 +107,12 @@ pub fn enabled() -> bool {
     }
 }
 
-/// First-call resolution of the `AHW_TRACE` / `AHW_METRICS` environment.
-/// Racing initializers read the same environment, so any winner is correct.
+/// First-call resolution of the `AHW_TRACE` / `AHW_METRICS` /
+/// `AHW_METRICS_ADDR` environment. Racing initializers read the same
+/// environment, so any winner is correct.
 #[cold]
 fn init_from_env() -> bool {
-    let on = env_trace_path().is_some() || env_metrics_on();
+    let on = env_trace_path().is_some() || env_metrics_on() || env_metrics_addr().is_some();
     let state = if on { STATE_ON } else { STATE_OFF };
     let _ = STATE.compare_exchange(STATE_UNINIT, state, Ordering::Relaxed, Ordering::Relaxed);
     STATE.load(Ordering::Relaxed) == STATE_ON
@@ -122,6 +133,16 @@ pub fn env_trace_path() -> Option<String> {
 /// Whether `AHW_METRICS` asks for the stderr summary (non-empty, not `0`).
 pub fn env_metrics_on() -> bool {
     std::env::var("AHW_METRICS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The `AHW_METRICS_ADDR` bind address for the live metrics server
+/// ([`serve::start_from_env`]), if one is configured. Setting it also
+/// enables telemetry recording at first use — a live endpoint with nothing
+/// to report would be useless.
+pub fn env_metrics_addr() -> Option<String> {
+    std::env::var("AHW_METRICS_ADDR")
+        .ok()
+        .filter(|a| !a.is_empty())
 }
 
 /// Clears every metric value (counters/histograms to zero, gauges to 0.0)

@@ -77,6 +77,23 @@ fn bucket_index(v: u64) -> usize {
     }
 }
 
+/// Lower edge of bucket `i`: 0 for bucket 0 (which also holds zero), else
+/// `4^i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (2 * i)
+    }
+}
+
+/// Exclusive upper edge of bucket `i`: `4^(i+1)`. The last bucket is
+/// open-ended in [`bucket_index`]; this returns its nominal edge, which the
+/// percentile interpolation uses as a finite cap.
+pub fn bucket_upper(i: usize) -> u64 {
+    1u64 << (2 * (i + 1))
+}
+
 impl Histogram {
     pub fn record(&self, v: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -109,6 +126,44 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the bucket counts.
+    ///
+    /// Semantics (pinned by a unit test): the target is the 1-based
+    /// nearest rank `ceil(q * count)`; inside the bucket holding that rank
+    /// the value is linearly interpolated at the rank's midpoint,
+    /// `lo + (rank - below - 0.5) / in_bucket * (hi - lo)`, where `below`
+    /// counts records in earlier buckets and `[lo, hi)` are the bucket
+    /// edges ([`bucket_lower`] / [`bucket_upper`]). A single record at `v`
+    /// therefore estimates every quantile as its bucket midpoint, and the
+    /// open-ended last bucket is capped at its nominal `4^17` edge.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 && (below + c) as f64 >= rank {
+                let lo = bucket_lower(i) as f64;
+                let hi = bucket_upper(i) as f64;
+                let frac = ((rank - below as f64 - 0.5) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+            below += c;
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1) as f64
+    }
+
+    /// The latency trio exporters report: (p50, p95, p99).
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 }
 
@@ -377,6 +432,65 @@ mod tests {
         assert_eq!(snap.buckets[3], 1); // 100 in [64, 256)
         assert_eq!(snap.mean(), 26.5);
         crate::set_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_interpolate_hand_computed_values() {
+        // Values [0, 1, 5, 100]: buckets b0=2 ([0,4)), b1=1 ([4,16)),
+        // b3=1 ([64,256)), count=4.
+        let mut h = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        for v in [0u64, 1, 5, 100] {
+            h.count += 1;
+            h.sum += v;
+            h.buckets[bucket_index(v)] += 1;
+        }
+        // p50: rank ceil(0.5*4)=2 lands in b0 (2 records). Interpolate at
+        // rank midpoint: 0 + (2 - 0 - 0.5)/2 * (4 - 0) = 3.0.
+        assert_eq!(h.quantile(0.50), 3.0);
+        // p95: rank ceil(0.95*4)=4 lands in b3 (1 record, 3 below):
+        // 64 + (4 - 3 - 0.5)/1 * (256 - 64) = 160.0.
+        assert_eq!(h.quantile(0.95), 160.0);
+        // p99: same rank 4 as p95 with only 4 records.
+        assert_eq!(h.quantile(0.99), 160.0);
+        assert_eq!(h.percentiles(), (3.0, 160.0, 160.0));
+
+        // A single record estimates every quantile at its bucket midpoint:
+        // 10 falls in [4, 16), midpoint 10.0.
+        let mut single = HistogramSnapshot {
+            count: 1,
+            sum: 10,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        single.buckets[bucket_index(10)] = 1;
+        assert_eq!(single.quantile(0.5), 10.0);
+        assert_eq!(single.quantile(0.99), 10.0);
+
+        // Empty histogram reports zeros.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn bucket_edges_bracket_their_indices() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(i).max(1)), i);
+            if i < HISTOGRAM_BUCKETS - 1 {
+                assert_eq!(bucket_index(bucket_upper(i) - 1), i);
+                assert_eq!(bucket_index(bucket_upper(i)), i + 1);
+            }
+        }
+        assert_eq!(bucket_lower(0), 0);
+        assert_eq!(bucket_upper(0), 4);
+        assert_eq!(bucket_lower(2), 16);
+        assert_eq!(bucket_upper(2), 64);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Live telemetry endpoint: a background metrics server over a hand-rolled
+//! HTTP/1.1 on `std::net::TcpListener` (the workspace is std-only — no
+//! hyper, no tokio).
+//!
+//! Enabled by setting `AHW_METRICS_ADDR` (e.g. `127.0.0.1:9090`, or
+//! `127.0.0.1:0` to let the OS pick a port); the experiment binaries and
+//! the bench harness call [`start_from_env`] at startup, which also turns
+//! telemetry recording on and logs the bound address to stderr as
+//!
+//! ```text
+//! [telemetry] metrics server listening on http://127.0.0.1:9090
+//! ```
+//!
+//! so scripts can recover an OS-assigned port. Routes:
+//!
+//! | Path | Content | Body |
+//! |---|---|---|
+//! | `GET /metrics` | `text/plain; version=0.0.4` | Prometheus text exposition of every registry counter/gauge/histogram, including the per-span-name `*_dur_ns` latency histograms and their derived `_p50`/`_p95`/`_p99` gauges, in stable sorted order |
+//! | `GET /snapshot.json` | `application/json` | The metrics snapshot ([`crate::snapshot_json`]) |
+//! | `GET /trace.json` | `application/json` | The current Perfetto trace buffer (non-destructive [`crate::peek_spans`] — a scrape never steals spans from the end-of-process flush) |
+//! | `GET /healthz` | `text/plain` | `ok` |
+//!
+//! Every response is `Connection: close`; connections are handled one at a
+//! time on a single detached thread, which is plenty for a scrape target
+//! and keeps the server completely off the experiment's hot path — request
+//! handling takes the registry snapshot exactly like any other exporter.
+
+use crate::export::{prometheus_text, snapshot_json, trace_json};
+use crate::metrics::snapshot;
+use crate::span::peek_spans;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Handle to a running metrics server (a detached background thread). The
+/// thread lives until process exit; the handle only reports the bound
+/// address.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+}
+
+impl MetricsServer {
+    /// The actually-bound socket address (resolves port 0 requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Binds `addr` and serves the telemetry endpoints from a detached
+/// background thread. Does not touch the telemetry enable flag; callers
+/// that want live data must also enable recording ([`start_from_env`]
+/// does both).
+pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("ahw-metrics-server".to_string())
+        .spawn(move || serve_loop(&listener))?;
+    Ok(MetricsServer { addr: local })
+}
+
+/// Starts the server if `AHW_METRICS_ADDR` is set: enables telemetry
+/// recording (a server with nothing to report is useless), logs the bound
+/// address to stderr, and returns the handle. Returns `None` when the
+/// variable is unset; a bind failure is reported on stderr and also
+/// returns `None` — an experiment must not die because a metrics port is
+/// taken.
+pub fn start_from_env() -> Option<MetricsServer> {
+    let addr = crate::env_metrics_addr()?;
+    match start(&addr) {
+        Ok(server) => {
+            crate::set_enabled(true);
+            crate::progress::interrupt();
+            eprintln!(
+                "[telemetry] metrics server listening on http://{}",
+                server.addr()
+            );
+            Some(server)
+        }
+        Err(e) => {
+            crate::progress::interrupt();
+            eprintln!("[telemetry] failed to bind metrics server on {addr}: {e}");
+            None
+        }
+    }
+}
+
+fn serve_loop(listener: &TcpListener) {
+    for stream in listener.incoming().flatten() {
+        let _ = handle_connection(stream);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut buf = [0u8; 1024];
+    let mut req: Vec<u8> = Vec::new();
+    // Read until the end of the request head; bodies are ignored (every
+    // route is a GET) and oversized heads are cut off rather than buffered.
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() >= 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&req);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let (status, content_type, body) = respond(&method, &path);
+    write_response(&mut stream, status, content_type, &body, method == "HEAD")
+}
+
+/// Routes one request to its response: `(status, content-type, body)`.
+/// Pure with respect to the connection (unit-testable without sockets);
+/// reads the live metrics registry and span buffers.
+pub fn respond(method: &str, path: &str) -> (u16, &'static str, String) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    if method != "GET" && method != "HEAD" {
+        return (405, TEXT, "method not allowed\n".to_string());
+    }
+    // Ignore any query string — scrapers tack on ?format= style params.
+    let path = path.split('?').next().unwrap_or("");
+    match path {
+        "/healthz" => (200, TEXT, "ok\n".to_string()),
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(&snapshot()),
+        ),
+        "/snapshot.json" => (200, "application/json", snapshot_json()),
+        "/trace.json" => (200, "application/json", trace_json(&peek_spans())),
+        _ => (404, TEXT, "not found\n".to_string()),
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    head_only: bool,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    )?;
+    if !head_only {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn routes_respond_with_expected_kinds() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        static C: crate::LazyCounter = crate::LazyCounter::new("test.serve.hits");
+        C.incr();
+        {
+            let _s = crate::span("test.serve.work");
+        }
+        let (s, ct, body) = respond("GET", "/healthz");
+        assert_eq!((s, body.as_str()), (200, "ok\n"));
+        assert!(ct.starts_with("text/plain"));
+
+        let (s, ct, body) = respond("GET", "/metrics?probe=1");
+        assert_eq!(s, 200);
+        assert!(ct.contains("version=0.0.4"));
+        assert!(body.contains("test_serve_hits"));
+        assert!(body.contains("test_serve_work_dur_ns_p99"));
+
+        let (s, ct, body) = respond("GET", "/snapshot.json");
+        assert_eq!(s, 200);
+        assert_eq!(ct, "application/json");
+        assert!(body.starts_with("{\"counters\":{"));
+
+        let (s, _, body) = respond("GET", "/trace.json");
+        assert_eq!(s, 200);
+        assert!(body.starts_with("{\"traceEvents\":["));
+        // peeking must not have drained the buffer
+        let (_, _, again) = respond("GET", "/trace.json");
+        assert_eq!(body, again);
+
+        assert_eq!(respond("GET", "/nope").0, 404);
+        assert_eq!(respond("POST", "/metrics").0, 405);
+        crate::set_enabled(false);
+        let _ = crate::drain_spans();
+    }
+
+    #[test]
+    fn server_binds_port_zero_and_serves_over_tcp() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        static C: crate::LazyCounter = crate::LazyCounter::new("test.serve.tcp_hits");
+        C.add(2);
+        let server = start("127.0.0.1:0").expect("bind 127.0.0.1:0");
+        assert_ne!(server.addr().port(), 0);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write!(
+            stream,
+            "GET /metrics HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            server.addr()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        crate::set_enabled(false);
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Length:"));
+        assert!(response.contains("test_serve_tcp_hits 2"));
+    }
+}

@@ -9,9 +9,18 @@
 //! Nesting is tracked with a per-thread depth counter: a span opened while
 //! another is active records `depth + 1`, which the summary table uses for
 //! indentation and trace viewers reconstruct from the timestamps.
+//!
+//! Every closed span additionally feeds its duration into the registry
+//! histogram `{name}.dur_ns` (power-of-four buckets), so live exporters —
+//! the `/metrics` endpoint and the stderr summary — can report p50/p95/p99
+//! per span name while a run is still in flight, without draining the span
+//! buffers. The histogram handle is cached per thread; the steady-state
+//! close cost is one hash lookup plus three relaxed `fetch_add`s.
 
+use crate::metrics::{histogram, Histogram};
 use crate::now_ns;
-use std::cell::{Cell, OnceCell};
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// One finished span: what ran, on which thread, when, and for how long.
@@ -47,6 +56,20 @@ fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
 thread_local! {
     static LOCAL: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
     static DEPTH: Cell<u16> = const { Cell::new(0) };
+    static DUR_HISTS: RefCell<HashMap<&'static str, Arc<Histogram>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Records a closed span's duration into the `{name}.dur_ns` registry
+/// histogram, resolving (and caching) the handle on first use per thread.
+fn record_span_duration(name: &'static str, dur_ns: u64) {
+    DUR_HISTS.with(|cell| {
+        let mut map = cell.borrow_mut();
+        let hist = map
+            .entry(name)
+            .or_insert_with(|| histogram(&format!("{name}.dur_ns")));
+        hist.record(dur_ns);
+    });
 }
 
 fn local_buf() -> Arc<ThreadBuf> {
@@ -130,6 +153,7 @@ impl Drop for SpanGuard {
                 dur_ns: end.saturating_sub(active.start_ns),
                 depth,
             };
+            record_span_duration(event.name, event.dur_ns);
             buf.spans
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -157,6 +181,34 @@ pub fn drain_spans() -> Vec<SpanEvent> {
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
     }
+    sort_spans(&mut all);
+    all
+}
+
+/// Copies every thread's buffered spans without draining them, in the same
+/// deterministic merge order as [`drain_spans`]. The live `/trace.json`
+/// endpoint uses this so a mid-run scrape does not steal the spans the
+/// end-of-process exporters will flush.
+pub fn peek_spans() -> Vec<SpanEvent> {
+    let bufs: Vec<Arc<ThreadBuf>> = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let mut all = Vec::new();
+    for buf in bufs {
+        all.extend(
+            buf.spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter()
+                .cloned(),
+        );
+    }
+    sort_spans(&mut all);
+    all
+}
+
+fn sort_spans(all: &mut [SpanEvent]) {
     all.sort_by(|a, b| {
         a.start_ns
             .cmp(&b.start_ns)
@@ -164,7 +216,6 @@ pub fn drain_spans() -> Vec<SpanEvent> {
             .then(a.tid.cmp(&b.tid))
             .then(a.name.cmp(b.name))
     });
-    all
 }
 
 #[cfg(test)]
@@ -250,5 +301,41 @@ mod tests {
         let a = thread_id();
         let b = thread_id();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closed_spans_feed_duration_histograms() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        let _ = drain_spans();
+        for _ in 0..3 {
+            let _s = span("test.span.hist_feed");
+        }
+        let snap = crate::snapshot();
+        crate::set_enabled(false);
+        let _ = drain_spans();
+        let hist = snap
+            .histograms
+            .get("test.span.hist_feed.dur_ns")
+            .expect("span close registered no duration histogram");
+        assert!(hist.count >= 3);
+    }
+
+    #[test]
+    fn peek_spans_does_not_drain() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        let _ = drain_spans();
+        {
+            let _s = span("test.span.peeked");
+        }
+        let peeked = peek_spans();
+        let peeked_again = peek_spans();
+        let drained = drain_spans();
+        crate::set_enabled(false);
+        assert_eq!(peeked, peeked_again);
+        assert_eq!(peeked, drained);
+        assert!(peeked.iter().any(|e| e.name == "test.span.peeked"));
+        assert!(drain_spans().is_empty());
     }
 }

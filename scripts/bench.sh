@@ -78,3 +78,10 @@ for t in 1 4; do
         | tee -a "$out"
 done
 unset AHW_METRICS
+
+# Regression watchdog (report mode): compare the two most recent rows per
+# (workload, threads, telemetry) key, including the rows just appended.
+# Report-only here — scripts/verify.sh gates on it with AHW_VERIFY_COMPARE=1.
+echo "bench: history comparison (report) -> $out" >&2
+cargo run --offline -q -p ahw-bench --bin ahw_bench -- \
+    --compare --file "$out" --report >&2

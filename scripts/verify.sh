@@ -28,3 +28,65 @@ AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
 # must be thread-count-invariant; the determinism tests pin that).
 AHW_THREADS=2 AHW_BENCH_SAMPLES=1 AHW_BENCH_WARMUP_MS=20 \
     cargo bench --offline -q -p ahw-bench --bench kernels -- sram/inject
+
+# Bench-regression watchdog over the committed history: always print the
+# report; fail the build on a confirmed regression only when opted in with
+# AHW_VERIFY_COMPARE=1 (fresh rows land via scripts/bench.sh, which runs
+# the report mode itself).
+if [ "${AHW_VERIFY_COMPARE:-0}" != "0" ]; then
+    target/release/ahw_bench --compare
+else
+    target/release/ahw_bench --compare --report
+fi
+
+# Smoke: the live telemetry endpoint. Start a real experiment with the
+# metrics server on an OS-assigned port (in a scratch directory so its
+# journal/cache never touch the repo), recover the bound port from stderr,
+# scrape /healthz and /metrics with the std-TcpStream client, and require
+# span-latency p99 series from four different crates before killing it.
+repo="$(pwd)"
+tmp="$(mktemp -d)"
+( cd "$tmp" && exec env AHW_METRICS_ADDR=127.0.0.1:0 AHW_THREADS=2 \
+    "$repo/target/release/exp_table1" --tiny ) \
+    >"$tmp/stdout.log" 2>"$tmp/stderr.log" &
+exp_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's#.*metrics server listening on http://##p' "$tmp/stderr.log" | head -n 1)"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$exp_pid" 2>/dev/null; then break; fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "verify: metrics server never reported its address" >&2
+    cat "$tmp/stderr.log" >&2
+    kill "$exp_pid" 2>/dev/null || true
+    exit 1
+fi
+target/release/ahw_bench --scrape "$addr" /healthz >/dev/null
+ok=""
+i=0
+while [ $i -lt 240 ]; do
+    if target/release/ahw_bench --scrape "$addr" /metrics >"$tmp/metrics.txt" 2>/dev/null \
+        && grep -q '^nn_[a-z0-9_]*_dur_ns_p99 ' "$tmp/metrics.txt" \
+        && grep -q '^tensor_[a-z0-9_]*_dur_ns_p99 ' "$tmp/metrics.txt" \
+        && grep -q '^attacks_[a-z0-9_]*_dur_ns_p99 ' "$tmp/metrics.txt" \
+        && grep -q '^sram_[a-z0-9_]*_dur_ns_p99 ' "$tmp/metrics.txt"; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$exp_pid" 2>/dev/null; then break; fi
+    i=$((i + 1))
+    sleep 0.5
+done
+kill "$exp_pid" 2>/dev/null || true
+wait "$exp_pid" 2>/dev/null || true
+if [ -z "$ok" ]; then
+    echo "verify: live /metrics never exposed span-latency p99 series from 4 crates" >&2
+    head -n 60 "$tmp/metrics.txt" 2>/dev/null >&2 || true
+    exit 1
+fi
+echo "verify: live /metrics scrape OK ($addr, span p99 series from nn/tensor/attacks/sram)" >&2
+rm -rf "$tmp"

@@ -1,0 +1,207 @@
+//! Exporter-output stability and the live telemetry endpoint.
+//!
+//! 1. **Golden cross-thread stability**: for a fixed workload, the
+//!    Prometheus text exposition and the JSON snapshot rendered from the
+//!    thread-count-invariant metrics must be *byte-identical* across
+//!    `AHW_THREADS ∈ {1, 2, 4, 7}`. Timing-valued metrics (`*_ns`
+//!    durations, pool busy counters, workspace residency) legitimately
+//!    vary run to run and are filtered out; everything that describes the
+//!    *work done* (flips, flops, draws, words) must not move by a byte.
+//! 2. **Name lint**: every name ever registered sanitizes to a valid
+//!    Prometheus metric name, with no post-sanitization collisions.
+//! 3. **Live server**: a real `TcpListener` server bound on port 0 serves
+//!    `/healthz`, `/metrics` (with `*_dur_ns_p99` span-latency series),
+//!    `/snapshot.json`, and `/trace.json` over plain HTTP.
+//!
+//! Lives in its own integration-test binary because it flips process-global
+//! state (telemetry enable flag, metric values, pool thread override).
+
+use adversarial_hw::prelude::*;
+use ahw_telemetry::export::metrics_snapshot_json;
+use ahw_telemetry::{is_prometheus_name, prometheus_name, prometheus_text, MetricsSnapshot};
+use ahw_tensor::{ops, pool, rng};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes tests that pin process-global telemetry / thread state.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The fixed workload: a GEMM (spans + FLOP/byte counters) and a hybrid
+/// 8T-6T bit-error injection (sparse-event counters), both routed through
+/// the worker pool at whatever thread count is pinned.
+fn workload() {
+    let a = rng::uniform(&[48, 48], -1.0, 1.0, &mut rng::seeded(11));
+    let b = rng::uniform(&[48, 48], -1.0, 1.0, &mut rng::seeded(12));
+    let _ = ops::matmul(&a, &b).unwrap();
+    let x = rng::uniform(&[8, 16, 16], 0.0, 1.0, &mut rng::seeded(13));
+    let cfg = HybridMemoryConfig::new(HybridWordConfig::new(4, 4).unwrap(), 0.60).unwrap();
+    let injector = BitErrorInjector::new(cfg, &BitErrorModel::srinivasan22nm(), 0x5EED);
+    let _ = injector.corrupt(&x);
+}
+
+/// Keeps only the metrics whose values are functions of (seed, workload) —
+/// never of the thread count or the wall clock.
+fn invariant_subset(snap: &MetricsSnapshot) -> MetricsSnapshot {
+    let keep = |name: &str| {
+        (name.starts_with("sram.") || name.starts_with("tensor.ops."))
+            && !name.ends_with("_ns")
+            && !name.ends_with(".dur_ns")
+    };
+    MetricsSnapshot {
+        counters: snap
+            .counters
+            .iter()
+            .filter(|(k, _)| keep(k))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        gauges: std::collections::BTreeMap::new(),
+        histograms: snap
+            .histograms
+            .iter()
+            .filter(|(k, _)| keep(k))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+    }
+}
+
+#[test]
+fn exporter_outputs_are_byte_identical_across_thread_counts() {
+    let _g = lock();
+    let mut rendered: Vec<(usize, String, String)> = Vec::new();
+    for &threads in &[1usize, 2, 4, 7] {
+        pool::set_thread_override(Some(threads));
+        ahw_telemetry::set_enabled(true);
+        ahw_telemetry::reset();
+        workload();
+        let snap = invariant_subset(&ahw_telemetry::snapshot());
+        ahw_telemetry::set_enabled(false);
+        pool::set_thread_override(None);
+        rendered.push((
+            threads,
+            prometheus_text(&snap),
+            metrics_snapshot_json(&snap),
+        ));
+    }
+    let _ = ahw_telemetry::drain_spans();
+    let (_, prom0, json0) = &rendered[0];
+    assert!(
+        prom0.contains("sram_injector_bit_flips") && prom0.contains("tensor_ops_gemm_flops"),
+        "workload left no invariant metrics to compare:\n{prom0}"
+    );
+    assert!(json0.starts_with("{\"counters\":{"));
+    for (threads, prom, json) in &rendered[1..] {
+        assert_eq!(
+            prom, prom0,
+            "Prometheus text differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            json, json0,
+            "JSON snapshot differs between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn registered_metric_names_pass_prometheus_lint() {
+    let _g = lock();
+    ahw_telemetry::set_enabled(true);
+    ahw_telemetry::reset();
+    workload();
+    let snap = ahw_telemetry::snapshot();
+    ahw_telemetry::set_enabled(false);
+    let _ = ahw_telemetry::drain_spans();
+    let mut sanitized = std::collections::BTreeMap::new();
+    let names = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys());
+    let mut seen = 0usize;
+    for name in names {
+        seen += 1;
+        let p = prometheus_name(name);
+        assert!(
+            is_prometheus_name(&p),
+            "{name:?} sanitized to invalid {p:?}"
+        );
+        if let Some(other) = sanitized.insert(p.clone(), name.clone()) {
+            assert_eq!(
+                &other, name,
+                "{other:?} and {name:?} collide after sanitization ({p})"
+            );
+        }
+    }
+    assert!(seen >= 4, "workload registered too few metrics to lint");
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let i = response.find("\r\n\r\n").expect("no header terminator");
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = response[i + 4..].to_string();
+    (status, body)
+}
+
+#[test]
+fn live_server_serves_metrics_snapshot_trace_and_health() {
+    let _g = lock();
+    ahw_telemetry::set_enabled(true);
+    ahw_telemetry::reset();
+    let _ = ahw_telemetry::drain_spans();
+    workload();
+    let server = ahw_telemetry::serve::start("127.0.0.1:0").expect("bind");
+
+    let (status, body) = http_get(server.addr(), "/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert_eq!(body, "ok\n");
+
+    let (status, metrics) = http_get(server.addr(), "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    // span-latency percentiles for the spans the workload closed
+    assert!(
+        metrics.contains("tensor_ops_matmul_dur_ns_p99"),
+        "no GEMM span-latency series:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("sram_injector_corrupt_dur_ns_p99"),
+        "no injector span-latency series"
+    );
+    assert!(metrics.contains("sram_injector_bit_flips"));
+
+    let (status, snapshot) = http_get(server.addr(), "/snapshot.json");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(snapshot.starts_with("{\"counters\":{"));
+
+    let (status, trace) = http_get(server.addr(), "/trace.json");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("tensor.ops.matmul"));
+
+    let (status, _) = http_get(server.addr(), "/missing");
+    assert!(status.starts_with("HTTP/1.1 404"), "{status}");
+
+    // the trace scrape must not have drained the span buffers
+    let spans = ahw_telemetry::drain_spans();
+    ahw_telemetry::set_enabled(false);
+    assert!(
+        spans.iter().any(|s| s.name == "tensor.ops.matmul"),
+        "live /trace.json scrape stole buffered spans from the final flush"
+    );
+}
