@@ -3,19 +3,27 @@
 //! ```text
 //! ahw_bench --compare [--file BENCH_kernels.json] [--threshold 0.10] [--report]
 //! ahw_bench --scrape <host:port> <path>
+//! ahw_bench --calibrate
 //! ```
 //!
 //! `--compare` runs the bench-regression watchdog over the committed
 //! history (see [`ahw_bench::compare`]): for every (workload, threads,
-//! telemetry) key it compares the two most recent rows and exits nonzero
-//! if any key regressed — unless `--report` is given, which always exits
-//! zero (the mode `scripts/bench.sh` uses right after appending fresh
-//! rows). `scripts/verify.sh` runs the strict mode as an opt-in gate.
+//! telemetry) key it compares the newest row against the best of its
+//! baseline window and exits nonzero if any key regressed — unless
+//! `--report` is given, which always exits zero (the mode
+//! `scripts/bench.sh` uses right after appending fresh rows).
+//! `scripts/verify.sh` runs the strict mode as an opt-in gate.
 //!
 //! `--scrape` is a minimal std-`TcpStream` HTTP GET client for the live
 //! telemetry endpoint: prints the response body to stdout and exits zero
 //! only on a 200, so shell scripts can probe `/healthz` and `/metrics`
 //! without curl.
+//!
+//! `--calibrate` measures the machine roof (peak GEMM GFLOP/s, stream
+//! GB/s — see [`ahw_bench::calibration`]) and prints the
+//! `"calibration/roofline"` JSON history line to stdout;
+//! `scripts/bench.sh` appends it to `BENCH_kernels.json` so roofline
+//! reports can score kernels against this machine.
 
 use ahw_bench::compare::{compare, parse_rows, Verdict, DEFAULT_THRESHOLD};
 use std::io::{Read, Write};
@@ -24,7 +32,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ahw_bench --compare [--file BENCH_kernels.json] [--threshold 0.10] [--report]\n       ahw_bench --scrape <host:port> <path>"
+        "usage: ahw_bench --compare [--file BENCH_kernels.json] [--threshold 0.10] [--report]\n       ahw_bench --scrape <host:port> <path>\n       ahw_bench --calibrate"
     );
     std::process::exit(2);
 }
@@ -47,6 +55,15 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "/healthz".to_string());
         std::process::exit(scrape(&addr, &path));
+    }
+    if has("--calibrate") {
+        let cal = ahw_bench::calibration::calibrate();
+        eprintln!(
+            "calibration: peak {:.2} GFLOP/s gemm, {:.2} GB/s stream (threads={})",
+            cal.peak_gflops, cal.stream_gbps, cal.threads
+        );
+        println!("{}", cal.to_json());
+        return;
     }
     if !has("--compare") {
         usage();

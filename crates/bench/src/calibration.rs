@@ -1,0 +1,268 @@
+//! One-shot machine-roof calibration for the roofline report: measures
+//! peak GEMM throughput (GFLOP/s) and peak streaming bandwidth (GB/s) at
+//! the configured thread count, using the same kernels the experiments
+//! run on.
+//!
+//! The measurement deliberately runs with telemetry recording **suspended**
+//! — calibration GEMMs must not pollute the FLOP/byte counters or the span
+//! buffers of the run being profiled — and registers the measured roof via
+//! [`ahw_telemetry::set_roofline`] so the `/report` endpoint and the
+//! end-of-run report can score kernels immediately.
+//!
+//! `scripts/bench.sh` records the roof as a JSON line in
+//! `BENCH_kernels.json` (`"name":"calibration/roofline"`), versioning the
+//! machine roof alongside the kernel timings; the bench-history parser
+//! skips the row (it has no `median_ns`), and [`parse_latest_calibration`]
+//! reads it back for offline report generation.
+//!
+//! Environment overrides `AHW_ROOF_GFLOPS` / `AHW_ROOF_GBPS` short-circuit
+//! the measurement entirely ([`roofline_from_env`]) — useful on shared
+//! hosts where a fresh measurement would be noisy.
+
+use ahw_telemetry::Roofline;
+use ahw_tensor::{ops, pool, rng};
+use std::time::Instant;
+
+/// Square GEMM dimension used for the compute-roof measurement: large
+/// enough to reach the kernel's steady state, small enough that the whole
+/// calibration stays under a second.
+pub const GEMM_DIM: usize = 256;
+
+/// Elements in the stream-roof buffers (f32): 4 MiB per buffer, far beyond
+/// L2 on any relevant host, so the measurement sees memory, not cache.
+pub const STREAM_ELEMS: usize = 1 << 20;
+
+/// Timed repetitions per roof; the best repetition is the roof (transient
+/// interference only ever slows a run down).
+const REPS: usize = 3;
+
+/// One measured (or overridden) machine roof.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Best measured GEMM throughput, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Best measured streaming bandwidth, GB/s.
+    pub stream_gbps: f64,
+    /// Worker count the measurement ran at.
+    pub threads: usize,
+}
+
+impl Calibration {
+    pub fn roofline(&self) -> Roofline {
+        Roofline {
+            peak_gflops: self.peak_gflops,
+            stream_gbps: self.stream_gbps,
+        }
+    }
+
+    /// The JSON history line `scripts/bench.sh` appends to
+    /// `BENCH_kernels.json`. Deliberately has no `median_ns` field so the
+    /// bench-regression parser skips it.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"calibration/roofline\",\"threads\":{},\"gemm_dim\":{GEMM_DIM},\"peak_gflops\":{:.3},\"stream_gbps\":{:.3}}}",
+            self.threads, self.peak_gflops, self.stream_gbps
+        )
+    }
+}
+
+/// Measures the machine roof at the current `AHW_THREADS` setting and
+/// registers it via [`ahw_telemetry::set_roofline`]. Telemetry recording
+/// is suspended for the duration so the calibration work never shows up in
+/// the profiled run's counters or spans.
+pub fn calibrate() -> Calibration {
+    let was_enabled = ahw_telemetry::enabled();
+    ahw_telemetry::set_enabled(false);
+    let cal = Calibration {
+        peak_gflops: measure_gemm_gflops(),
+        stream_gbps: measure_stream_gbps(),
+        threads: pool::num_threads(),
+    };
+    ahw_telemetry::set_enabled(was_enabled);
+    ahw_telemetry::set_roofline(Some(cal.roofline()));
+    cal
+}
+
+fn measure_gemm_gflops() -> f64 {
+    let mut r = rng::seeded(0xCA1B);
+    let a = rng::uniform(&[GEMM_DIM, GEMM_DIM], -1.0, 1.0, &mut r);
+    let b = rng::uniform(&[GEMM_DIM, GEMM_DIM], -1.0, 1.0, &mut r);
+    // One untimed pass warms the pool (worker spawn is paid here, not in
+    // the measurement).
+    let _ = ops::matmul(&a, &b).expect("calibration matmul");
+    let flops = 2.0 * (GEMM_DIM as f64).powi(3);
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let c = ops::matmul(&a, &b).expect("calibration matmul");
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(&c);
+        if secs > 0.0 {
+            best = best.max(flops / secs / 1e9);
+        }
+    }
+    best
+}
+
+fn measure_stream_gbps() -> f64 {
+    let src: Vec<f32> = (0..STREAM_ELEMS).map(|i| (i % 17) as f32).collect();
+    let mut dst = vec![0.0f32; STREAM_ELEMS];
+    // Read + write per element.
+    let bytes = (2 * STREAM_ELEMS * std::mem::size_of::<f32>()) as f64;
+    let mut best = 0.0f64;
+    for rep in 0..=REPS {
+        let t = Instant::now();
+        let scale = 1.0 + rep as f32 * 1e-6;
+        pool::par_row_chunks_mut(&mut dst, 4096, 1, |first, rows| {
+            let base = first * 4096;
+            for (j, v) in rows.iter_mut().enumerate() {
+                *v = src[base + j] * scale;
+            }
+        });
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(&dst);
+        // rep 0 is the warm-up (page faults on `dst`).
+        if rep > 0 && secs > 0.0 {
+            best = best.max(bytes / secs / 1e9);
+        }
+    }
+    best
+}
+
+/// The roof from `AHW_ROOF_GFLOPS` / `AHW_ROOF_GBPS`, when both are set to
+/// positive numbers.
+pub fn roofline_from_env() -> Option<Roofline> {
+    let get = |key: &str| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| *v > 0.0)
+    };
+    Some(Roofline {
+        peak_gflops: get("AHW_ROOF_GFLOPS")?,
+        stream_gbps: get("AHW_ROOF_GBPS")?,
+    })
+}
+
+/// Extracts a JSON number field `"field":123.45` from a flat object line.
+fn f64_field(line: &str, field: &str) -> Option<f64> {
+    let pat = format!("\"{field}\":");
+    let start = line.find(&pat)? + pat.len();
+    let num: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E')
+        .collect();
+    num.parse().ok()
+}
+
+/// The most recent `calibration/roofline` row in a `BENCH_kernels.json`
+/// history, if any — the offline fallback roof for `ahw_report` when no
+/// live calibration ran in this process.
+pub fn parse_latest_calibration(history: &str) -> Option<Calibration> {
+    history
+        .lines()
+        .rfind(|l| l.contains("\"name\":\"calibration/roofline\""))
+        .and_then(|line| {
+            Some(Calibration {
+                peak_gflops: f64_field(line, "peak_gflops")?,
+                stream_gbps: f64_field(line, "stream_gbps")?,
+                threads: f64_field(line, "threads")? as usize,
+            })
+        })
+}
+
+/// Resolution order for the roof a report should use: an explicitly
+/// registered roof (a live calibration in this process), then the
+/// environment override, then the newest `calibration/roofline` row in
+/// `bench_history` (when provided).
+pub fn resolve_roofline(bench_history: Option<&str>) -> Option<Roofline> {
+    ahw_telemetry::roofline()
+        .or_else(roofline_from_env)
+        .or_else(|| Some(parse_latest_calibration(bench_history?)?.roofline()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the process-global roofline slot, the
+    /// telemetry enable flag, or the pool thread override.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn calibration_json_round_trips_and_is_skipped_by_the_bench_parser() {
+        let cal = Calibration {
+            peak_gflops: 12.345,
+            stream_gbps: 6.789,
+            threads: 4,
+        };
+        let line = cal.to_json();
+        assert!(line.contains("\"name\":\"calibration/roofline\""));
+        assert!(!line.contains("median_ns"));
+        let parsed = parse_latest_calibration(&line).expect("parse back");
+        assert!((parsed.peak_gflops - 12.345).abs() < 1e-9);
+        assert!((parsed.stream_gbps - 6.789).abs() < 1e-9);
+        assert_eq!(parsed.threads, 4);
+        assert!(
+            crate::compare::parse_rows(&line).is_empty(),
+            "the regression watchdog must skip calibration rows"
+        );
+    }
+
+    #[test]
+    fn latest_calibration_row_wins() {
+        let history = concat!(
+            "{\"name\":\"calibration/roofline\",\"threads\":1,\"gemm_dim\":256,\"peak_gflops\":1.0,\"stream_gbps\":1.0}\n",
+            "{\"rev\":\"x\",\"threads\":1,\"name\":\"matmul/256\",\"median_ns\":1,\"min_ns\":1,\"max_ns\":1}\n",
+            "{\"name\":\"calibration/roofline\",\"threads\":2,\"gemm_dim\":256,\"peak_gflops\":3.5,\"stream_gbps\":2.25}\n",
+        );
+        let cal = parse_latest_calibration(history).expect("newest row");
+        assert_eq!(cal.threads, 2);
+        assert!((cal.peak_gflops - 3.5).abs() < 1e-12);
+        assert!(parse_latest_calibration("no calibration here").is_none());
+    }
+
+    #[test]
+    fn measured_calibration_is_positive_and_registers_the_roof() {
+        let _g = lock();
+        pool::set_thread_override(Some(2));
+        ahw_telemetry::set_roofline(None);
+        let was_enabled = ahw_telemetry::enabled();
+        let cal = calibrate();
+        pool::set_thread_override(None);
+        assert!(cal.peak_gflops > 0.0, "GEMM roof must be positive");
+        assert!(cal.stream_gbps > 0.0, "stream roof must be positive");
+        assert_eq!(cal.threads, 2);
+        assert_eq!(
+            ahw_telemetry::enabled(),
+            was_enabled,
+            "calibration must restore the telemetry enable flag"
+        );
+        let roof = ahw_telemetry::roofline().expect("roof registered");
+        assert_eq!(roof.peak_gflops, cal.peak_gflops);
+        ahw_telemetry::set_roofline(None);
+    }
+
+    #[test]
+    fn resolution_order_prefers_registered_then_history() {
+        let _g = lock();
+        ahw_telemetry::set_roofline(None);
+        let history =
+            "{\"name\":\"calibration/roofline\",\"threads\":1,\"gemm_dim\":256,\"peak_gflops\":9.0,\"stream_gbps\":4.0}";
+        let from_history = resolve_roofline(Some(history)).expect("history roof");
+        assert_eq!(from_history.peak_gflops, 9.0);
+        ahw_telemetry::set_roofline(Some(Roofline {
+            peak_gflops: 2.0,
+            stream_gbps: 1.0,
+        }));
+        let registered = resolve_roofline(Some(history)).expect("registered roof");
+        assert_eq!(registered.peak_gflops, 2.0, "registered roof wins");
+        ahw_telemetry::set_roofline(None);
+    }
+}

@@ -6,7 +6,20 @@
 //! The history file is append-only JSON lines written by `scripts/bench.sh`
 //! — one row per (rev, workload, thread count), plus metrics-snapshot rows
 //! that this parser skips. Rows are grouped by **key** `(name, threads,
-//! telemetry)`; within each key the two most recent rows are compared.
+//! telemetry)`; within each key the newest row is compared against a
+//! **baseline** drawn from the previous rows.
+//!
+//! ## Baseline: best of the last window
+//!
+//! The baseline is not simply the immediately previous row: a previous row
+//! recorded while the host was contended would make any honest newer row
+//! look like a huge *improvement*, and — worse — a previous row recorded on
+//! an idle host followed by one contended recording used to flag clean
+//! builds as regressions. Instead, the newest row is compared against the
+//! **best** of the up-to-[`BASELINE_WINDOW`] preceding rows: the baseline
+//! median is the smallest `median_ns` in that window (its row names
+//! `prev_rev`), and the baseline best-sample is the smallest `min_ns` in
+//! the window. Only being slower than the best of recent history counts.
 //!
 //! ## Regression rule
 //!
@@ -14,8 +27,8 @@
 //! slower than the noise threshold allows:
 //!
 //! ```text
-//! latest.median_ns > prev.median_ns * (1 + threshold)   and
-//! latest.min_ns    > prev.min_ns    * (1 + threshold)
+//! latest.median_ns > baseline_median_ns * (1 + threshold)   and
+//! latest.min_ns    > baseline_min_ns    * (1 + threshold)
 //! ```
 //!
 //! The dual gate is what separates noise from regressions on a shared
@@ -55,7 +68,12 @@ impl BenchRow {
     }
 }
 
-/// How a key's latest row compares to its predecessor.
+/// How many preceding rows per key the baseline is drawn from: the newest
+/// row is compared against the best (min-median / min-best-sample) of up
+/// to this many history rows before it.
+pub const BASELINE_WINDOW: usize = 4;
+
+/// How a key's latest row compares to its baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// Median and best sample both within the threshold.
@@ -80,17 +98,22 @@ impl fmt::Display for Verdict {
     }
 }
 
-/// One key's comparison between its two most recent history rows.
+/// One key's comparison between its newest row and the best of the
+/// preceding [`BASELINE_WINDOW`] rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     pub key: String,
+    /// Revision of the window row with the smallest median (the baseline).
     pub prev_rev: String,
     pub latest_rev: String,
+    /// Smallest `median_ns` in the baseline window.
     pub prev_median_ns: u128,
     pub latest_median_ns: u128,
-    /// `latest/prev - 1` for the medians.
+    /// `latest/baseline - 1` for the medians.
     pub median_delta: f64,
-    /// `latest/prev - 1` for the fastest samples.
+    /// `latest/baseline - 1` for the fastest samples (baseline is the
+    /// window's smallest `min_ns`, possibly from a different row than the
+    /// median baseline).
     pub min_delta: f64,
     pub verdict: Verdict,
 }
@@ -175,8 +198,9 @@ fn delta(latest: u128, prev: u128) -> f64 {
     }
 }
 
-/// Compares the two most recent rows of every key that has at least two,
-/// in first-appearance order of the key. `threshold` is the relative noise
+/// Compares the newest row of every key that has at least two rows against
+/// the best of the up-to-[`BASELINE_WINDOW`] preceding rows, in
+/// first-appearance order of the key. `threshold` is the relative noise
 /// allowance (0.10 = 10%).
 pub fn compare(rows: &[BenchRow], threshold: f64) -> Vec<Comparison> {
     let mut order: Vec<String> = Vec::new();
@@ -197,10 +221,20 @@ pub fn compare(rows: &[BenchRow], threshold: f64) -> Vec<Comparison> {
             if history.len() < 2 {
                 return None;
             }
-            let prev = history[history.len() - 2];
             let latest = history[history.len() - 1];
+            let window =
+                &history[history.len().saturating_sub(BASELINE_WINDOW + 1)..history.len() - 1];
+            let prev = window
+                .iter()
+                .min_by_key(|r| r.median_ns)
+                .expect("window holds at least one row");
+            let best_min_ns = window
+                .iter()
+                .map(|r| r.min_ns)
+                .min()
+                .expect("window holds at least one row");
             let median_delta = delta(latest.median_ns, prev.median_ns);
-            let min_delta = delta(latest.min_ns, prev.min_ns);
+            let min_delta = delta(latest.min_ns, best_min_ns);
             let verdict = if median_delta > threshold && min_delta > threshold {
                 Verdict::Regressed
             } else if median_delta > threshold {
@@ -309,6 +343,83 @@ mod tests {
         let other_threads = row("aaaaaaa", "matmul/256", 1, 1_000, 900, 1_100);
         let cmp = compare(&[on, plain, other_threads], DEFAULT_THRESHOLD);
         assert!(cmp.is_empty(), "three distinct keys with one row each");
+    }
+
+    #[test]
+    fn contended_previous_recording_does_not_flag_a_clean_build() {
+        // The 3e4daad-style false positive: an idle-host row, then a row
+        // recorded under heavy host contention (everything +40%), then a
+        // clean newest row back at the idle-host level. Against the
+        // immediately previous row the clean build would read as fine but
+        // the *contended* row would have been the baseline for the next
+        // run; against the best of the window the clean row is simply Ok.
+        let idle = row("aaaaaaa", "matmul/256", 1, 1_000_000, 950_000, 1_050_000);
+        let contended = row("bbbbbbb", "matmul/256", 1, 1_400_000, 1_330_000, 1_500_000);
+        let clean = row("ccccccc", "matmul/256", 1, 1_020_000, 960_000, 1_080_000);
+        let cmp = compare(&[idle, contended, clean], DEFAULT_THRESHOLD);
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(
+            cmp[0].verdict,
+            Verdict::Ok,
+            "clean build flagged against a contended recording"
+        );
+        assert_eq!(
+            cmp[0].prev_rev, "aaaaaaa",
+            "baseline must be the window's min-median row"
+        );
+        assert!((cmp[0].median_delta - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_window_is_bounded_to_the_last_four_rows() {
+        // An ancient ultra-fast row outside the window must not keep
+        // flagging every modern row as regressed forever.
+        let ancient = row("0000000", "matmul/256", 1, 100_000, 95_000, 105_000);
+        let mut rows = vec![ancient];
+        for (i, rev) in ["aaaaaaa", "bbbbbbb", "ccccccc", "ddddddd"]
+            .iter()
+            .enumerate()
+        {
+            rows.push(row(
+                rev,
+                "matmul/256",
+                1,
+                1_000_000 + i as u128,
+                950_000 + i as u128,
+                1_050_000,
+            ));
+        }
+        let latest = row("eeeeeee", "matmul/256", 1, 1_010_000, 955_000, 1_060_000);
+        rows.push(latest);
+        let cmp = compare(&rows, DEFAULT_THRESHOLD);
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(
+            cmp[0].verdict,
+            Verdict::Ok,
+            "a row older than the window leaked into the baseline"
+        );
+        assert_eq!(cmp[0].prev_median_ns, 1_000_000);
+    }
+
+    #[test]
+    fn regression_against_the_whole_window_is_still_flagged() {
+        // Slower than every row in the window on both gates -> Regressed,
+        // exactly as with the old single-predecessor rule.
+        let mut rows: Vec<BenchRow> = ["aaaaaaa", "bbbbbbb", "ccccccc"]
+            .iter()
+            .map(|rev| row(rev, "matmul/256", 1, 1_000_000, 950_000, 1_050_000))
+            .collect();
+        rows.push(row(
+            "ddddddd",
+            "matmul/256",
+            1,
+            1_300_000,
+            1_250_000,
+            1_400_000,
+        ));
+        let cmp = compare(&rows, DEFAULT_THRESHOLD);
+        assert_eq!(cmp[0].verdict, Verdict::Regressed);
+        assert!((cmp[0].median_delta - 0.3).abs() < 1e-9);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //! | `exp_fig8a` | Fig. 8(a) — R_MIN study |
 //! | `exp_fig8bc` | Fig. 8(b,c) — defense comparison |
 
+pub mod calibration;
 pub mod compare;
 pub mod experiments;
 pub mod harness;
+pub mod report;
 pub mod table;
 
 use ahw_core::zoo::{ArchId, ZooConfig};
@@ -202,10 +204,14 @@ impl Args {
 /// RAII guard owning an experiment's telemetry lifecycle: on creation it
 /// starts the live metrics server when `AHW_METRICS_ADDR` is set (the
 /// handle is held so the bound address stays discoverable for the whole of
-/// `main`); on drop it flushes the exporters — writes the `AHW_TRACE`
-/// trace-event file and prints the `AHW_METRICS` stderr summary (both
-/// no-ops when telemetry is disabled). Experiment binaries hold one for
-/// the whole of `main` so traces survive early returns.
+/// `main`); on drop it writes the run report (`AHW_REPORT`, or
+/// `results/report_<bin>.md` whenever telemetry is enabled — see
+/// [`report::report_path_from_env`]) and then flushes the exporters —
+/// the `AHW_TRACE` trace-event file and the `AHW_METRICS` stderr summary
+/// (all no-ops when telemetry is disabled). The report renders from
+/// [`ahw_telemetry::peek_spans`] *before* [`ahw_telemetry::finish`]
+/// drains the span buffers. Experiment binaries hold one for the whole of
+/// `main` so traces survive early returns.
 #[must_use = "the flush happens when the guard drops"]
 #[derive(Debug)]
 pub struct TelemetryFlush {
@@ -221,13 +227,36 @@ impl TelemetryFlush {
 
 impl Drop for TelemetryFlush {
     fn drop(&mut self) {
+        if let Some(path) = report::report_path_from_env() {
+            let history = std::fs::read_to_string("BENCH_kernels.json").ok();
+            let spans = ahw_telemetry::peek_spans();
+            let snap = ahw_telemetry::snapshot();
+            let roof = calibration::resolve_roofline(history.as_deref());
+            let md = report::render_run_report_md(&spans, &snap, roof.as_ref(), history.as_deref());
+            match report::write_report_files(&path, &md) {
+                Ok(_) => eprintln!("[report] wrote {} (+ .html)", path.display()),
+                Err(e) => eprintln!("[report] failed to write {}: {e}", path.display()),
+            }
+        }
         ahw_telemetry::finish();
     }
 }
 
 /// Creates a [`TelemetryFlush`] guard (starting the `AHW_METRICS_ADDR`
-/// server if configured); bind it at the top of `main`.
+/// server if configured); bind it at the top of `main`. Setting
+/// `AHW_REPORT` to a path force-enables telemetry recording — a report
+/// was asked for, so there must be something to report — and an
+/// `AHW_ROOF_GFLOPS`/`AHW_ROOF_GBPS` override is registered here so the
+/// live `/report` endpoint can score kernels without a calibration run.
 pub fn telemetry_flush() -> TelemetryFlush {
+    if std::env::var("AHW_REPORT").is_ok_and(|v| !v.is_empty() && v != "0") {
+        ahw_telemetry::set_enabled(true);
+    }
+    if ahw_telemetry::roofline().is_none() {
+        if let Some(roof) = calibration::roofline_from_env() {
+            ahw_telemetry::set_roofline(Some(roof));
+        }
+    }
     TelemetryFlush {
         server: ahw_telemetry::serve::start_from_env(),
     }

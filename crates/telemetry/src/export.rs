@@ -323,6 +323,13 @@ pub fn finish() {
     // into a half-drawn sweep status.
     crate::progress::interrupt();
     let spans = drain_spans();
+    let dropped = crate::span::dropped_spans();
+    if dropped > 0 {
+        eprintln!(
+            "[telemetry] warning: {dropped} span(s) dropped at the AHW_SPAN_CAP buffer \
+             limit — the trace and span-derived reports are partial"
+        );
+    }
     if let Some(path) = crate::env_trace_path() {
         match std::fs::write(&path, trace_json(&spans)) {
             Ok(()) => eprintln!("[telemetry] wrote {} span(s) to {path}", spans.len()),

@@ -68,6 +68,7 @@
 
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 pub mod serve;
 pub mod span;
@@ -80,9 +81,16 @@ pub use metrics::{
     counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter,
     LazyGauge, LazyHistogram, MetricsSnapshot,
 };
+pub use profile::{
+    render_report_html, render_report_md, roofline, set_roofline, span_tree, Roofline, SpanNode,
+    SpanTree,
+};
 pub use progress::Progress;
 pub use serve::MetricsServer;
-pub use span::{drain_spans, peek_spans, span, span_labeled, thread_id, SpanEvent, SpanGuard};
+pub use span::{
+    drain_spans, dropped_spans, peek_spans, set_span_cap, span, span_labeled, thread_id, SpanEvent,
+    SpanGuard,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -151,6 +159,7 @@ pub fn env_metrics_addr() -> Option<String> {
 /// tests call this between runs to compare fresh snapshots.
 pub fn reset() {
     metrics::reset_values();
+    span::reset_dropped();
     let _ = span::drain_spans();
 }
 

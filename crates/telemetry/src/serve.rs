@@ -18,26 +18,43 @@
 //! | `GET /metrics` | `text/plain; version=0.0.4` | Prometheus text exposition of every registry counter/gauge/histogram, including the per-span-name `*_dur_ns` latency histograms and their derived `_p50`/`_p95`/`_p99` gauges, in stable sorted order |
 //! | `GET /snapshot.json` | `application/json` | The metrics snapshot ([`crate::snapshot_json`]) |
 //! | `GET /trace.json` | `application/json` | The current Perfetto trace buffer (non-destructive [`crate::peek_spans`] — a scrape never steals spans from the end-of-process flush) |
+//! | `GET /report` | `text/html` | The live profiling run report ([`crate::profile::render_report_html`]): span tree with self times, worker utilization, roofline scoring against the registered roof |
+//! | `GET /report.md` | `text/markdown` | The same report as Markdown |
 //! | `GET /healthz` | `text/plain` | `ok` |
 //!
+//! Malformed clients get real statuses: a request head over 8 KiB is
+//! answered `431`, a client that stalls past the 2 s read timeout without
+//! finishing its head (slow loris) is answered `408`, and unknown routes
+//! are `404` (all pinned over real TCP by `tests/serve_errors.rs`).
+//!
 //! Every response is `Connection: close`; connections are handled one at a
-//! time on a single detached thread, which is plenty for a scrape target
+//! time on a single background thread, which is plenty for a scrape target
 //! and keeps the server completely off the experiment's hot path — request
 //! handling takes the registry snapshot exactly like any other exporter.
+//! Dropping the [`MetricsServer`] handle shuts the server down: the accept
+//! loop is woken with a loopback connection and joined, and the port is
+//! released (further connections are refused).
 
 use crate::export::{prometheus_text, snapshot_json, trace_json};
 use crate::metrics::snapshot;
+use crate::profile::{render_report_html, render_report_md, roofline};
 use crate::span::peek_spans;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Handle to a running metrics server (a detached background thread). The
-/// thread lives until process exit; the handle only reports the bound
-/// address.
+/// Maximum accepted request-head size; longer heads get `431`.
+const MAX_HEAD_BYTES: usize = 8192;
+
+/// Handle to a running metrics server. The background thread serves until
+/// this handle drops, at which point the listener is closed and joined.
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl MetricsServer {
@@ -47,17 +64,35 @@ impl MetricsServer {
     }
 }
 
-/// Binds `addr` and serves the telemetry endpoints from a detached
-/// background thread. Does not touch the telemetry enable flag; callers
-/// that want live data must also enable recording ([`start_from_env`]
-/// does both).
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway loopback connection so
+        // the loop observes the stop flag, then reclaim the thread.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves the telemetry endpoints from a background
+/// thread until the returned handle drops. Does not touch the telemetry
+/// enable flag; callers that want live data must also enable recording
+/// ([`start_from_env`] does both).
 pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    std::thread::Builder::new()
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
         .name("ahw-metrics-server".to_string())
-        .spawn(move || serve_loop(&listener))?;
-    Ok(MetricsServer { addr: local })
+        .spawn(move || serve_loop(&listener, &thread_stop))?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
 }
 
 /// Starts the server if `AHW_METRICS_ADDR` is set: enables telemetry
@@ -86,36 +121,103 @@ pub fn start_from_env() -> Option<MetricsServer> {
     }
 }
 
-fn serve_loop(listener: &TcpListener) {
-    for stream in listener.incoming().flatten() {
-        let _ = handle_connection(stream);
+fn serve_loop(listener: &TcpListener, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Ok(stream) = stream {
+            let _ = handle_connection(stream);
+        }
+    }
+}
+
+/// How reading a request head ended.
+enum HeadRead {
+    /// Complete head (terminated by a blank line).
+    Complete,
+    /// Head exceeded [`MAX_HEAD_BYTES`] without terminating.
+    TooLarge,
+    /// Client stalled past the read timeout mid-head (slow loris).
+    TimedOut,
+    /// Client closed (or errored) before finishing the head.
+    Closed,
+}
+
+fn read_head(stream: &mut TcpStream, req: &mut Vec<u8>) -> HeadRead {
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return HeadRead::Closed,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return HeadRead::TimedOut
+            }
+            Err(_) => return HeadRead::Closed,
+        };
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") {
+            return HeadRead::Complete;
+        }
+        if req.len() >= MAX_HEAD_BYTES {
+            return HeadRead::TooLarge;
+        }
+    }
+}
+
+/// Discards whatever the client still has in flight (bounded by a short
+/// read timeout) so the subsequent close is a graceful FIN, not an RST
+/// that could destroy an already-written error response.
+fn drain_request(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    while let Ok(n) = stream.read(&mut buf) {
+        if n == 0 {
+            break;
+        }
     }
 }
 
 fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-    let mut buf = [0u8; 1024];
     let mut req: Vec<u8> = Vec::new();
     // Read until the end of the request head; bodies are ignored (every
-    // route is a GET) and oversized heads are cut off rather than buffered.
-    loop {
-        let n = match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(_) => break,
-        };
-        req.extend_from_slice(&buf[..n]);
-        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() >= 8192 {
-            break;
+    // route is a GET). Oversized and stalled heads are answered with their
+    // own statuses instead of being silently dropped.
+    let (status, content_type, body, head_only) = match read_head(&mut stream, &mut req) {
+        HeadRead::Complete => {
+            let head = String::from_utf8_lossy(&req);
+            let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+            let method = parts.next().unwrap_or("").to_string();
+            let path = parts.next().unwrap_or("").to_string();
+            let (status, content_type, body) = respond(&method, &path);
+            (status, content_type, body, method == "HEAD")
         }
-    }
-    let head = String::from_utf8_lossy(&req);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    let (status, content_type, body) = respond(&method, &path);
-    write_response(&mut stream, status, content_type, &body, method == "HEAD")
+        HeadRead::TooLarge => {
+            // Answer first, then swallow the rest of the oversized head:
+            // closing with unread bytes in the receive buffer would reset
+            // the connection and can discard the 431 before the client
+            // reads it.
+            let result = write_response(
+                &mut stream,
+                431,
+                "text/plain; charset=utf-8",
+                "request header fields too large\n",
+                false,
+            );
+            drain_request(&mut stream);
+            return result;
+        }
+        HeadRead::TimedOut => (
+            408,
+            "text/plain; charset=utf-8",
+            "request timeout\n".to_string(),
+            false,
+        ),
+        HeadRead::Closed => return Ok(()),
+    };
+    write_response(&mut stream, status, content_type, &body, head_only)
 }
 
 /// Routes one request to its response: `(status, content-type, body)`.
@@ -137,6 +239,16 @@ pub fn respond(method: &str, path: &str) -> (u16, &'static str, String) {
         ),
         "/snapshot.json" => (200, "application/json", snapshot_json()),
         "/trace.json" => (200, "application/json", trace_json(&peek_spans())),
+        "/report" => (
+            200,
+            "text/html; charset=utf-8",
+            render_report_html(&peek_spans(), &snapshot(), roofline().as_ref()),
+        ),
+        "/report.md" => (
+            200,
+            "text/markdown; charset=utf-8",
+            render_report_md(&peek_spans(), &snapshot(), roofline().as_ref()),
+        ),
         _ => (404, TEXT, "not found\n".to_string()),
     }
 }
@@ -146,6 +258,8 @@ fn status_text(status: u16) -> &'static str {
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
         _ => "Internal Server Error",
     }
 }
@@ -204,6 +318,17 @@ mod tests {
         // peeking must not have drained the buffer
         let (_, _, again) = respond("GET", "/trace.json");
         assert_eq!(body, again);
+
+        let (s, ct, body) = respond("GET", "/report");
+        assert_eq!(s, 200);
+        assert!(ct.starts_with("text/html"));
+        assert!(body.starts_with("<!DOCTYPE html>"));
+        assert!(body.contains("Span tree"));
+
+        let (s, ct, body) = respond("GET", "/report.md");
+        assert_eq!(s, 200);
+        assert!(ct.starts_with("text/markdown"));
+        assert!(body.starts_with("# ahw run report"));
 
         assert_eq!(respond("GET", "/nope").0, 404);
         assert_eq!(respond("POST", "/metrics").0, 405);

@@ -17,11 +17,73 @@
 //! buffers. The histogram handle is cached per thread; the steady-state
 //! close cost is one hash lookup plus three relaxed `fetch_add`s.
 
-use crate::metrics::{histogram, Histogram};
+use crate::metrics::{histogram, Histogram, LazyCounter};
 use crate::now_ns;
 use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default cap on the total number of buffered spans across all threads
+/// (~1M events, on the order of 100 MB). Long traced sweeps hit the cap
+/// instead of growing memory without bound; see [`set_span_cap`].
+pub const DEFAULT_SPAN_CAP: usize = 1 << 20;
+
+/// Resolved span cap; 0 means "not yet resolved from the environment".
+static SPAN_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Total spans currently buffered across every thread (drained spans are
+/// subtracted). Compared against the cap on every span close; the race
+/// between concurrent closers can overshoot the cap by at most one span
+/// per thread, which is fine for a memory guard.
+static BUFFERED: AtomicUsize = AtomicUsize::new(0);
+
+/// Spans discarded at the cap since the last [`reset_dropped`]. Kept in a
+/// plain atomic (authoritative, readable without touching the registry)
+/// and mirrored into the `telemetry.spans.dropped` counter so exporters
+/// and the run report can warn about partial traces.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+static DROPPED_COUNTER: LazyCounter = LazyCounter::new("telemetry.spans.dropped");
+
+fn span_cap() -> usize {
+    match SPAN_CAP.load(Ordering::Relaxed) {
+        0 => resolve_span_cap(),
+        cap => cap,
+    }
+}
+
+#[cold]
+fn resolve_span_cap() -> usize {
+    let cap = std::env::var("AHW_SPAN_CAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_SPAN_CAP);
+    let _ = SPAN_CAP.compare_exchange(0, cap, Ordering::Relaxed, Ordering::Relaxed);
+    SPAN_CAP.load(Ordering::Relaxed)
+}
+
+/// Overrides the span-buffer cap process-wide (`Some(n)` caps at `n ≥ 1`
+/// spans; `None` re-resolves `AHW_SPAN_CAP` / the default on next use).
+/// Tests use this to exercise the drop path without buffering a million
+/// events.
+pub fn set_span_cap(cap: Option<usize>) {
+    SPAN_CAP.store(cap.map_or(0, |c| c.max(1)), Ordering::Relaxed);
+}
+
+/// Spans discarded at the [`set_span_cap`] limit since the last
+/// [`crate::reset`]. Non-zero means every span-derived view (trace file,
+/// span tree, utilization timeline) is partial.
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Zeroes the dropped-span count (the registry mirror is zeroed by the
+/// caller via `metrics::reset_values`).
+pub(crate) fn reset_dropped() {
+    DROPPED.store(0, Ordering::Relaxed);
+}
 
 /// One finished span: what ran, on which thread, when, and for how long.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,11 +215,19 @@ impl Drop for SpanGuard {
                 dur_ns: end.saturating_sub(active.start_ns),
                 depth,
             };
+            // The duration histogram is fixed-size and always fed; only the
+            // unbounded event buffer is guarded by the cap.
             record_span_duration(event.name, event.dur_ns);
-            buf.spans
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .push(event);
+            if BUFFERED.load(Ordering::Relaxed) >= span_cap() {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+                DROPPED_COUNTER.incr();
+            } else {
+                BUFFERED.fetch_add(1, Ordering::Relaxed);
+                buf.spans
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(event);
+            }
         }
     }
 }
@@ -181,6 +251,7 @@ pub fn drain_spans() -> Vec<SpanEvent> {
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
     }
+    BUFFERED.fetch_sub(all.len(), Ordering::Relaxed);
     sort_spans(&mut all);
     all
 }
@@ -319,6 +390,39 @@ mod tests {
             .get("test.span.hist_feed.dur_ns")
             .expect("span close registered no duration histogram");
         assert!(hist.count >= 3);
+    }
+
+    #[test]
+    fn span_cap_drops_and_counts_overflow() {
+        let _g = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        set_span_cap(Some(3));
+        for _ in 0..5 {
+            let _s = span("test.span.capped");
+        }
+        let events = drain_spans();
+        let dropped = dropped_spans();
+        let snap = crate::snapshot();
+        set_span_cap(None);
+        crate::set_enabled(false);
+        assert_eq!(events.len(), 3, "cap of 3 should keep exactly 3 spans");
+        assert_eq!(dropped, 2);
+        assert_eq!(snap.counters.get("telemetry.spans.dropped"), Some(&2));
+        // the duration histogram still saw every close
+        assert_eq!(snap.histograms["test.span.capped.dur_ns"].count, 5);
+        // draining freed the buffer: new spans are accepted again
+        crate::set_enabled(true);
+        crate::reset();
+        set_span_cap(Some(3));
+        {
+            let _s = span("test.span.capped");
+        }
+        let events = drain_spans();
+        set_span_cap(None);
+        crate::set_enabled(false);
+        assert_eq!(events.len(), 1);
+        assert_eq!(dropped_spans(), 0, "reset clears the dropped count");
     }
 
     #[test]

@@ -242,6 +242,9 @@ fn worker_loop(shared: &Shared) {
 /// caller when the last chunk finishes.
 fn run_chunks(shared: &Shared, job: &Job) {
     JOB_DEPTH.with(|d| d.set(d.get() + 1));
+    // One span per job participation (inert when disabled): the profiler's
+    // worker-utilization timeline is drawn from these intervals.
+    let _participate = telemetry::span("tensor.pool.participate");
     // Resolve the telemetry gate once per job participation; the disabled
     // path adds nothing to the per-chunk loop.
     let busy_start = telemetry::enabled().then(std::time::Instant::now);
@@ -731,6 +734,38 @@ mod tests {
         let mut out = vec![0u8; 10];
         let mut slots = vec![0usize; 2];
         par_chunk_fold_mut(&mut out, 4, &mut slots, |_, _| 0);
+    }
+
+    #[test]
+    fn participation_records_spans_for_the_profiler() {
+        set_thread_override(Some(4));
+        telemetry::set_enabled(true);
+        let _ = telemetry::drain_spans();
+        let hits: Vec<AtomicU32> = (0..512).map(|_| AtomicU32::new(0)).collect();
+        parallel_for_ranges(512, 1, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let spans = telemetry::drain_spans();
+        telemetry::set_enabled(false);
+        set_thread_override(None);
+        let participations: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "tensor.pool.participate")
+            .collect();
+        // The calling thread always participates; workers may or may not
+        // claim a chunk before the cursor is exhausted.
+        assert!(
+            !participations.is_empty(),
+            "no participation spans recorded: {spans:?}"
+        );
+        let tids: std::collections::BTreeSet<u32> = participations.iter().map(|s| s.tid).collect();
+        assert_eq!(
+            tids.len(),
+            participations.len(),
+            "one job must record at most one participation span per thread"
+        );
     }
 
     #[test]

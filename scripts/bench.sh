@@ -79,9 +79,19 @@ for t in 1 4; do
 done
 unset AHW_METRICS
 
-# Regression watchdog (report mode): compare the two most recent rows per
-# (workload, threads, telemetry) key, including the rows just appended.
-# Report-only here — scripts/verify.sh gates on it with AHW_VERIFY_COMPARE=1.
+# Machine-roof calibration: peak GEMM GFLOP/s and stream GB/s at this
+# thread count, appended as a "calibration/roofline" row (no median_ns, so
+# the regression watchdog skips it). ahw_report and the /report endpoint
+# use the newest row to score kernels against this machine's roof.
+echo "bench: calibration/roofline -> $out" >&2
+cargo run --offline -q -p ahw-bench --bin ahw_bench -- --calibrate \
+    | sed "s/^{/{\"rev\":\"$rev\",/" \
+    | tee -a "$out"
+
+# Regression watchdog (report mode): compare the newest row per (workload,
+# threads, telemetry) key against the best of its baseline window,
+# including the rows just appended. Report-only here — scripts/verify.sh
+# gates on it with AHW_VERIFY_COMPARE=1.
 echo "bench: history comparison (report) -> $out" >&2
 cargo run --offline -q -p ahw-bench --bin ahw_bench -- \
     --compare --file "$out" --report >&2

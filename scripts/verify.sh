@@ -44,9 +44,12 @@ fi
 # journal/cache never touch the repo), recover the bound port from stderr,
 # scrape /healthz and /metrics with the std-TcpStream client, and require
 # span-latency p99 series from four different crates before killing it.
+# A fixed roofline override is injected so the run-report smoke below also
+# exercises the %-of-roof scoring path.
 repo="$(pwd)"
 tmp="$(mktemp -d)"
 ( cd "$tmp" && exec env AHW_METRICS_ADDR=127.0.0.1:0 AHW_THREADS=2 \
+    AHW_ROOF_GFLOPS=50 AHW_ROOF_GBPS=20 \
     "$repo/target/release/exp_table1" --tiny ) \
     >"$tmp/stdout.log" 2>"$tmp/stderr.log" &
 exp_pid=$!
@@ -81,6 +84,22 @@ while [ $i -lt 240 ]; do
     i=$((i + 1))
     sleep 0.5
 done
+# Smoke: the live run report. While the experiment is still running, pull
+# the full report off /report.md via ahw_report and require the profiling
+# sections the ISSUE promises: a span tree with a self-time column, the
+# worker-utilization summary, and roofline scoring against the injected
+# roof.
+report_ok=""
+if [ -n "$ok" ]; then
+    if target/release/ahw_report --scrape "$addr" --out "$tmp/report.md" \
+        && grep -q 'self_ms' "$tmp/report.md" \
+        && grep -q '^## Worker utilization' "$tmp/report.md" \
+        && grep -q '^## Roofline' "$tmp/report.md" \
+        && grep -q '%roof' "$tmp/report.md" \
+        && grep -q '<h2>Roofline</h2>' "$tmp/report.html"; then
+        report_ok=1
+    fi
+fi
 kill "$exp_pid" 2>/dev/null || true
 wait "$exp_pid" 2>/dev/null || true
 if [ -z "$ok" ]; then
@@ -88,5 +107,11 @@ if [ -z "$ok" ]; then
     head -n 60 "$tmp/metrics.txt" 2>/dev/null >&2 || true
     exit 1
 fi
+if [ -z "$report_ok" ]; then
+    echo "verify: live run report missing span-tree/utilization/roofline sections" >&2
+    head -n 60 "$tmp/report.md" 2>/dev/null >&2 || true
+    exit 1
+fi
 echo "verify: live /metrics scrape OK ($addr, span p99 series from nn/tensor/attacks/sram)" >&2
+echo "verify: live run report OK (span tree + utilization + roofline via ahw_report --scrape)" >&2
 rm -rf "$tmp"
